@@ -1,0 +1,103 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+Not figures from the paper — these quantify *why* the design is the way it
+is: (1) the backward pass of the reuse algorithm, (2) the load-cost model
+(where the Experiment Graph lives), and (3) the alpha mix of the utility
+function on the Kaggle workloads.
+"""
+
+import pytest
+from conftest import report
+
+from repro.eg.storage import LoadCostModel
+from repro.experiments import make_optimizer, run_sequence, scaled_budget
+from repro.reuse.linear import LinearReuse
+from repro.workloads.kaggle import KAGGLE_WORKLOADS
+from repro.workloads.synthetic_dag import (
+    SyntheticDAGConfig,
+    build_matching_eg,
+    generate_synthetic_workload,
+)
+
+
+def test_ablation_backward_pass(benchmark):
+    """Dropping the backward pass loads superfluous ancestors."""
+    config = SyntheticDAGConfig(min_nodes=500, max_nodes=1000, materialized_ratio=0.5)
+
+    def run():
+        rows = []
+        for seed in range(10):
+            workload = generate_synthetic_workload(seed, config)
+            eg = build_matching_eg(workload, seed, config)
+            with_bp = LinearReuse(backward_pass=True).plan(workload, eg)
+            without_bp = LinearReuse(backward_pass=False).plan(workload, eg)
+            rows.append(
+                (
+                    len(with_bp.loads),
+                    len(without_bp.loads),
+                    with_bp.plan_cost(workload, eg, LoadCostModel.in_memory()),
+                    without_bp.plan_cost(workload, eg, LoadCostModel.in_memory()),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    loads_with = sum(r[0] for r in rows)
+    loads_without = sum(r[1] for r in rows)
+    cost_with = sum(r[2] for r in rows)
+    cost_without = sum(r[3] for r in rows)
+    report(
+        "",
+        "== Ablation: reuse backward pass (10 synthetic workloads) ==",
+        f"  loads: with pass {loads_with}, without {loads_without} "
+        f"({loads_without - loads_with} superfluous)",
+        f"  plan cost: with {cost_with:.1f}s, without {cost_without:.1f}s",
+    )
+    assert loads_without > loads_with
+    assert cost_without >= cost_with
+
+
+@pytest.mark.parametrize(
+    "location,model",
+    [
+        ("memory", LoadCostModel.in_memory()),
+        ("disk", LoadCostModel.on_disk()),
+        ("remote", LoadCostModel.remote()),
+    ],
+)
+def test_ablation_load_cost_regime(benchmark, hc_sources, hc_total, location, model):
+    """Where the EG lives changes how much the planner chooses to load."""
+    budget = scaled_budget(16, hc_total)
+    scripts = [KAGGLE_WORKLOADS[i] for i in (1, 2, 4, 6)]
+
+    def run():
+        optimizer = make_optimizer("SA", budget, reuse="LN", load_cost_model=model)
+        return run_sequence(optimizer, scripts, hc_sources)
+
+    sequence = benchmark.pedantic(run, rounds=1, iterations=1)
+    loads = sum(r.loaded_vertices for r in sequence.reports)
+    report(
+        f"== Ablation: EG on {location}: total {sequence.total_time:.2f}s, "
+        f"{loads} artifacts loaded =="
+    )
+    assert sequence.reports[-1].terminal_values
+
+
+def test_ablation_alpha_on_kaggle(benchmark, hc_sources, hc_total):
+    """Alpha barely matters when the budget is loose (paper Section 7.3)."""
+    budget = scaled_budget(16, hc_total)
+    scripts = [KAGGLE_WORKLOADS[i] for i in (1, 4, 5)]
+
+    def run():
+        totals = {}
+        for alpha in (0.0, 0.5, 1.0):
+            optimizer = make_optimizer("SA", budget, reuse="LN", alpha=alpha)
+            totals[alpha] = run_sequence(optimizer, scripts, hc_sources).total_time
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "== Ablation: alpha on Kaggle W1/W4/W5 (loose budget) ==",
+        "  " + ", ".join(f"alpha={a}: {t:.2f}s" for a, t in totals.items()),
+    )
+    assert all(t > 0 for t in totals.values())

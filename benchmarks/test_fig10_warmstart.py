@@ -1,0 +1,52 @@
+"""Figure 10 — warmstarting OpenML workloads.
+
+Paper shape: (a) CO without warmstarting is about level with OML (the
+transformations are milliseconds; training dominates), while CO with
+warmstarting cuts the cumulative run-time substantially (paper: ~3x).
+(b) the cumulative accuracy delta of warmstarted runs vs OML is
+non-negative and grows (paper: +0.014 average per workload).
+"""
+
+from conftest import FULL_SCALE, report, scaled
+
+from repro.experiments import fig10_warmstarting
+from repro.workloads.openml import sample_pipeline_specs
+
+
+def test_fig10_warmstarting(benchmark, credit_sources):
+    specs = sample_pipeline_specs(scaled(300, minimum=30), seed=7)
+    result = benchmark.pedantic(
+        fig10_warmstarting,
+        args=(specs, credit_sources, 10_000_000),
+        rounds=1,
+        iterations=1,
+    )
+
+    n = len(specs)
+    marks = [n // 4, n // 2, 3 * n // 4, n - 1]
+    report("", "== Figure 10a: warmstarting cumulative run-time (seconds) ==")
+    report(f"{'system':>7} " + " ".join(f"{'#' + str(m):>8}" for m in marks))
+    report(f"{'OML':>7} " + " ".join(f"{result.cumulative_oml[m]:>8.2f}" for m in marks))
+    report(
+        f"{'CO-W':>7} "
+        + " ".join(f"{result.cumulative_co_without[m]:>8.2f}" for m in marks)
+    )
+    report(
+        f"{'CO+W':>7} "
+        + " ".join(f"{result.cumulative_co_with[m]:>8.2f}" for m in marks)
+    )
+    speedup = result.cumulative_oml[-1] / max(result.cumulative_co_with[-1], 1e-9)
+    report(
+        f"    paper: CO+W ~3x faster than OML; ours: {speedup:.1f}x "
+        f"({result.warmstarted_runs} runs warmstarted)"
+    )
+
+    report("", "== Figure 10b: cumulative accuracy delta (CO+W - OML) ==")
+    report(" ".join(f"{result.cumulative_delta_accuracy[m]:>8.3f}" for m in marks))
+
+    assert result.warmstarted_runs > 0
+    if FULL_SCALE:
+        assert result.cumulative_co_with[-1] < result.cumulative_oml[-1]
+        assert result.cumulative_co_with[-1] <= result.cumulative_co_without[-1]
+        # warmstarting must not hurt aggregate accuracy (paper: it helps)
+        assert result.cumulative_delta_accuracy[-1] >= -0.5

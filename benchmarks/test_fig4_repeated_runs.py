@@ -1,0 +1,35 @@
+"""Figure 4 — repeated executions of workloads 1-3 (CO vs HL vs KG).
+
+Paper shape: run 1 is comparable across systems (CO/HL slightly ahead on
+W2/W3 thanks to local pruning of redundant operations); run 2 drops by an
+order of magnitude for CO and HL while KG stays flat.
+"""
+
+from conftest import FULL_SCALE, report
+
+from repro.experiments import fig4_repeated_runs, scaled_budget
+
+
+def test_fig4_repeated_executions(benchmark, hc_sources, hc_total):
+    budget = scaled_budget(16, hc_total)
+    result = benchmark.pedantic(
+        fig4_repeated_runs, args=(hc_sources, budget), rounds=1, iterations=1
+    )
+
+    report("", "== Figure 4: repeated executions of Kaggle workloads 1-3 (seconds) ==")
+    report(f"{'workload':>9} {'system':>7} {'run 1':>8} {'run 2':>8}")
+    for workload_id, systems in result.times.items():
+        for system, runs in systems.items():
+            report(
+                f"{'W' + str(workload_id):>9} {system:>7} "
+                f"{runs[0]:>8.3f} {runs[1]:>8.3f}"
+            )
+
+    for workload_id, systems in result.times.items():
+        # CO's second run must be at least an order of magnitude faster
+        assert systems["CO"][1] < systems["CO"][0] / 10.0
+        assert systems["HL"][1] < systems["HL"][0] / 10.0
+        # KG gains nothing from repetition
+        assert systems["KG"][1] > systems["CO"][1]
+        if FULL_SCALE:
+            assert systems["KG"][1] > 0.5 * systems["KG"][0]

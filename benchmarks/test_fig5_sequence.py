@@ -1,0 +1,32 @@
+"""Figure 5 — cumulative run-time of the 8 Kaggle workloads in sequence.
+
+Paper shape: CO halves the cumulative run-time vs the KG baseline (~50%
+saving); Helix improves over KG but by less than CO.
+"""
+
+from conftest import FULL_SCALE, report
+
+from repro.experiments import fig5_sequence, scaled_budget
+
+
+def test_fig5_workload_sequence(benchmark, hc_sources, hc_total):
+    budget = scaled_budget(16, hc_total)
+    result = benchmark.pedantic(
+        fig5_sequence, args=(hc_sources, budget), rounds=1, iterations=1
+    )
+
+    report("", "== Figure 5: cumulative run-time of workloads 1-8 (seconds) ==")
+    report(f"{'system':>7} " + " ".join(f"{'W' + str(i):>7}" for i in range(1, 9)))
+    for system in ("CO", "HL", "KG"):
+        curve = result.cumulative[system]
+        report(f"{system:>7} " + " ".join(f"{v:>7.2f}" for v in curve))
+    co, hl, kg = (result.cumulative[s][-1] for s in ("CO", "HL", "KG"))
+    report(
+        f"    paper: CO saves ~50% vs KG; ours: CO saves "
+        f"{100 * (1 - co / kg):.0f}%, HL saves {100 * (1 - hl / kg):.0f}%"
+    )
+
+    if FULL_SCALE:
+        assert co < kg, "CO must beat the no-optimizer baseline"
+        assert co < hl, "CO must beat Helix over the full sequence"
+        assert co < 0.75 * kg, "CO's saving should be substantial (paper: ~50%)"

@@ -1,0 +1,55 @@
+"""Figure 7 — run-time and speedup of the materialization algorithms.
+
+Paper shape: (a) SA tracks the ALL upper bound even at small budgets; HM
+lags SA at tight budgets; HL is worst because it exhausts its budget on
+the workloads' initial artifacts.  (b) cumulative speedup vs KG: ALL ~2x,
+SA close behind, HL only ~1.1-1.3x.
+"""
+
+from conftest import FULL_SCALE, report
+
+
+def test_fig7a_total_runtime(benchmark, materialization_result):
+    result = benchmark.pedantic(lambda: materialization_result, rounds=1, iterations=1)
+
+    report("", "== Figure 7a: total run-time of workloads 1-8 (seconds) ==")
+    report(f"{'strategy':>9} " + " ".join(f"{b:>6.0f}GB" for b in result.budgets_gb))
+    for strategy in ("SA", "HM", "HL", "ALL"):
+        times = [result.total_times[strategy][b] for b in result.budgets_gb]
+        report(f"{strategy:>9} " + " ".join(f"{t:>8.2f}" for t in times))
+
+    tight = result.budgets_gb[0]
+    if FULL_SCALE:
+        assert result.total_times["SA"][tight] < result.total_times["HL"][tight], (
+            "SA must beat Helix materialization at tight budgets"
+        )
+        # SA with a small budget stays close to the ALL upper bound
+        assert result.total_times["SA"][tight] < 1.5 * result.total_times["ALL"][tight]
+
+
+def test_fig7b_cumulative_speedup(benchmark, materialization_result):
+    result = benchmark.pedantic(lambda: materialization_result, rounds=1, iterations=1)
+
+    series = {
+        "SA-8": ("SA", 8.0),
+        "SA-16": ("SA", 16.0),
+        "HL-8": ("HL", 8.0),
+        "HL-16": ("HL", 16.0),
+        "ALL": ("ALL", 8.0),
+    }
+    report("", "== Figure 7b: cumulative speedup vs the KG baseline ==")
+    report(f"{'series':>7} " + " ".join(f"{'W' + str(i):>6}" for i in range(1, 9)))
+    curves = {}
+    for label, (strategy, budget) in series.items():
+        curves[label] = result.speedup_curve(strategy, budget)
+        report(f"{label:>7} " + " ".join(f"{v:>6.2f}" for v in curves[label]))
+    report(
+        "    paper: ALL ~2.0x, SA-16 ~1.97x, SA-8 ~1.77x, HL <= 1.31x; "
+        f"ours: ALL {curves['ALL'][-1]:.2f}x, SA-16 {curves['SA-16'][-1]:.2f}x, "
+        f"HL-16 {curves['HL-16'][-1]:.2f}x"
+    )
+
+    if FULL_SCALE:
+        assert curves["ALL"][-1] > 1.2, "materializing everything must pay off"
+        assert curves["SA-16"][-1] > curves["HL-16"][-1], "SA must beat Helix"
+        assert curves["SA-8"][-1] > curves["HL-8"][-1]

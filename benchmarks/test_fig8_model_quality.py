@@ -1,0 +1,61 @@
+"""Figure 8 — effect of model quality on materialization (OpenML).
+
+Paper shape: (a) in the model-benchmarking scenario, CO's reuse of the
+gold-standard workload's artifacts beats re-running it from scratch
+(paper: ~5x).  (b) with a one-artifact budget, larger alpha materializes
+the gold-standard model sooner, so its cumulative-run-time delta to the
+alpha=1 line plateaus earlier and lower.
+"""
+
+from conftest import FULL_SCALE, report, scaled
+
+from repro.experiments import fig8a_model_benchmarking, fig8b_alpha_sweep
+from repro.workloads.openml import sample_pipeline_specs
+
+
+def test_fig8a_model_benchmarking(benchmark, credit_sources):
+    specs = sample_pipeline_specs(scaled(300, minimum=30), seed=7)
+    result = benchmark.pedantic(
+        fig8a_model_benchmarking,
+        args=(specs, credit_sources, 10_000_000),
+        rounds=1,
+        iterations=1,
+    )
+
+    report("", "== Figure 8a: model-benchmarking cumulative run-time (seconds) ==")
+    marks = [len(specs) // 4, len(specs) // 2, 3 * len(specs) // 4, len(specs) - 1]
+    report(f"{'workload':>9} " + " ".join(f"{'#' + str(m):>8}" for m in marks))
+    report(f"{'CO':>9} " + " ".join(f"{result.cumulative_co[m]:>8.2f}" for m in marks))
+    report(f"{'OML':>9} " + " ".join(f"{result.cumulative_oml[m]:>8.2f}" for m in marks))
+    ratio = result.cumulative_oml[-1] / max(result.cumulative_co[-1], 1e-9)
+    report(f"    paper: ~5x improvement; ours: {ratio:.1f}x")
+
+    if FULL_SCALE:
+        assert result.cumulative_co[-1] < result.cumulative_oml[-1]
+        assert ratio > 1.5, "reusing the gold standard must clearly beat re-running it"
+
+
+def test_fig8b_alpha_sweep(benchmark, credit_sources):
+    specs = sample_pipeline_specs(scaled(150, minimum=20), seed=7)
+    alphas = (0.0, 0.25, 0.5, 0.75, 1.0)
+    result = benchmark.pedantic(
+        fig8b_alpha_sweep,
+        args=(specs, credit_sources, alphas),
+        rounds=1,
+        iterations=1,
+    )
+
+    report("", "== Figure 8b: cumulative run-time delta vs alpha=1 (seconds) ==")
+    marks = [len(specs) // 4, len(specs) // 2, len(specs) - 1]
+    report(f"{'alpha':>6} " + " ".join(f"{'#' + str(m):>8}" for m in marks))
+    finals = {}
+    for alpha in alphas:
+        deltas = result.delta_vs_alpha1(alpha)
+        finals[alpha] = deltas[-1]
+        report(f"{alpha:>6.2f} " + " ".join(f"{deltas[m]:>8.3f}" for m in marks))
+
+    assert finals[1.0] == 0.0
+    if FULL_SCALE:
+        # quality-aware materialization (alpha >= 0.5) must not lose to
+        # quality-blind materialization (alpha = 0) in this scenario
+        assert min(finals[0.75], finals[0.5]) <= finals[0.0] + 1e-6

@@ -1,0 +1,36 @@
+"""Figure 9d — planner overhead: linear-time LN vs polynomial Helix.
+
+Paper shape: over 10,000 synthetic workloads of 500-2000 nodes, LN's
+cumulative overhead grows linearly to ~80s while Helix's Edmonds-Karp
+reaches ~3500s — a ~40x gap.  We run a scaled-down count (the ratio is the
+reproduced quantity) with the same node range.
+"""
+
+from conftest import report, scaled
+
+from repro.experiments import fig9d_reuse_overhead
+from repro.workloads.synthetic_dag import SyntheticDAGConfig
+
+
+def test_fig9d_planner_overhead(benchmark):
+    n_workloads = scaled(30, minimum=5)
+    config = SyntheticDAGConfig(min_nodes=500, max_nodes=2000)
+    result = benchmark.pedantic(
+        fig9d_reuse_overhead,
+        kwargs={"n_workloads": n_workloads, "config": config, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    report("", f"== Figure 9d: cumulative reuse overhead over {n_workloads} synthetic workloads (s) ==")
+    marks = sorted({n_workloads // 4, n_workloads // 2, n_workloads - 1})
+    report(f"{'planner':>8} " + " ".join(f"{'#' + str(m + 1):>9}" for m in marks))
+    report(f"{'LN':>8} " + " ".join(f"{result.cumulative_ln[m]:>9.3f}" for m in marks))
+    report(f"{'HL':>8} " + " ".join(f"{result.cumulative_hl[m]:>9.3f}" for m in marks))
+    report(
+        f"    paper: 40x gap at 10k workloads; ours at {n_workloads}: "
+        f"{result.final_ratio:.0f}x (plans cost-equal: {result.plans_equal_cost})"
+    )
+
+    assert result.final_ratio > 10.0, "Edmonds-Karp must be far slower than LN"
+    assert result.cumulative_ln[-1] < result.cumulative_hl[-1]

@@ -1,0 +1,54 @@
+"""Scalability of the server as the Experiment Graph grows.
+
+Not a paper figure — this quantifies the claim behind Sections 5.2/6.1:
+the optimizer must keep up with the high rate of incoming workloads in a
+collaborative environment.  We stream OpenML pipelines through one EG and
+track the *server-side* overhead (reuse planning + updater/materializer)
+per workload as the graph grows.
+"""
+
+import time
+
+from conftest import report, scaled
+
+from repro.experiments import make_optimizer
+from repro.workloads.openml import (
+    generate_credit_g,
+    make_pipeline_script,
+    sample_pipeline_specs,
+)
+
+
+def test_server_overhead_vs_eg_size(benchmark):
+    sources = generate_credit_g(n_rows=300, seed=5)
+    n_pipelines = scaled(240, minimum=40)
+    specs = sample_pipeline_specs(n_pipelines, seed=13)
+
+    def run():
+        optimizer = make_optimizer("SA", 50_000_000)
+        samples = []  # (eg_vertices, server_seconds)
+        for spec in specs:
+            script = make_pipeline_script(spec)
+            started = time.perf_counter()
+            report_one = optimizer.run_script(script, sources)
+            wall = time.perf_counter() - started
+            server_seconds = wall - report_one.compute_time
+            samples.append((optimizer.eg.num_vertices, server_seconds))
+        return samples
+
+    samples = benchmark.pedantic(run, rounds=1, iterations=1)
+    quarter = len(samples) // 4
+    first = sum(s for _v, s in samples[:quarter]) / quarter
+    last = sum(s for _v, s in samples[-quarter:]) / quarter
+    report(
+        "",
+        "== Scalability: server overhead per workload as the EG grows ==",
+        f"  EG grows {samples[0][0]} -> {samples[-1][0]} vertices over "
+        f"{len(samples)} workloads",
+        f"  mean server overhead: first quartile {first * 1000:.1f} ms, "
+        f"last quartile {last * 1000:.1f} ms ({last / max(first, 1e-9):.1f}x growth)",
+    )
+
+    assert samples[-1][0] > samples[0][0]
+    # overhead may grow with the EG, but must stay interactive
+    assert last < 0.5, "per-workload server overhead must stay well below 500 ms"

@@ -1,0 +1,25 @@
+"""Table 1 — the Kaggle workload inventory (N artifacts, total size)."""
+
+from conftest import report
+
+from repro.experiments import table1
+
+
+def test_table1_workload_inventory(benchmark, hc_sources):
+    rows = benchmark.pedantic(table1, args=(hc_sources,), rounds=1, iterations=1)
+
+    report("", "== Table 1: Kaggle workloads (N = artifacts, S = artifact volume) ==")
+    report(f"{'ID':>3} {'N':>5} {'S (MB)':>9}  Description")
+    for row in rows:
+        report(
+            f"{row.workload_id:>3} {row.n_artifacts:>5} "
+            f"{row.size_bytes / 1e6:>9.1f}  {row.description}"
+        )
+    total = sum(r.size_bytes for r in rows)
+    report(f"    paper: N in [121, 406], S in [10, 83.5] GB, total ~130 GB")
+    report(f"    ours (scaled): total over workloads = {total / 1e6:.1f} MB")
+
+    # paper shape: W3 (and its derivative W7) dominate the artifact volume
+    by_id = {r.workload_id: r for r in rows}
+    assert by_id[3].size_bytes == max(r.size_bytes for r in rows[:3])
+    assert all(r.n_artifacts > 0 for r in rows)

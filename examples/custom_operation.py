@@ -1,0 +1,61 @@
+"""Extending the system with a custom operation (paper Listing 2).
+
+The paper's extensibility API: subclass ``DataOperation`` (or
+``TrainOperation``), declare name/return-type/parameters, and implement
+``run``.  The optimizer needs nothing else — sizes and compute times are
+measured automatically, and the operation hash makes the new artifact
+reusable across workloads.
+
+Run:  python examples/custom_operation.py
+"""
+
+import numpy as np
+
+from repro import CollaborativeOptimizer, DataFrame, MaterializeAll
+from repro.graph.operations import DataOperation
+
+
+class Winsorize(DataOperation):
+    """Clip a numeric column to the [lo, hi] percentile range."""
+
+    def __init__(self, column: str, lo: float = 1.0, hi: float = 99.0):
+        super().__init__("winsorize", params={"column": column, "lo": lo, "hi": hi})
+
+    def run(self, underlying_data: DataFrame) -> DataFrame:
+        column = self.params["column"]
+        values = underlying_data.values(column).astype(float)
+        low, high = np.percentile(values, [self.params["lo"], self.params["hi"]])
+        return underlying_data.map_column(
+            column, lambda v: np.clip(v, low, high), operation_hash=self.op_hash
+        )
+
+
+def script(ws, sources):
+    data = ws.source("measurements", sources["measurements"])
+    # the paper's lower-level API: node.add(operation)
+    cleaned = data.add(Winsorize("reading", lo=5.0, hi=95.0))
+    cleaned.describe().terminal()
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    readings = rng.normal(100.0, 15.0, size=5000)
+    readings[:20] = 10_000.0  # corrupt outliers
+    sources = {"measurements": DataFrame({"reading": readings})}
+
+    optimizer = CollaborativeOptimizer(MaterializeAll())
+    report = optimizer.run_script(script, sources)
+    summary = next(iter(report.terminal_values.values()))
+    print("summary of the winsorized column:")
+    for statistic, value in summary["reading"].items():
+        print(f"  {statistic:>6}: {value:,.2f}")
+
+    report = optimizer.run_script(script, sources)
+    print(
+        f"second run loaded {report.loaded_vertices} artifact(s) and executed "
+        f"{report.executed_vertices} — the custom operation is fully reusable"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Pipeline recommendation from the Experiment Graph (paper Section 9).
+
+After a collaborative platform has executed many user pipelines, the EG's
+meta-data — operation chains, hyperparameters, model scores — doubles as
+an AutoML knowledge base.  This example populates an EG with sampled
+OpenML-style pipelines and then asks the advisor for (1) the best known
+models, (2) the recipe behind the best one, and (3) hyperparameter
+candidates for the next experiments.
+
+Run:  python examples/pipeline_recommendation.py [n_pipelines]
+"""
+
+import sys
+
+from repro import CollaborativeOptimizer, MaterializeAll
+from repro.automl import PipelineAdvisor
+from repro.workloads.openml import (
+    generate_credit_g,
+    make_pipeline_script,
+    sample_pipeline_specs,
+)
+
+
+def main() -> None:
+    n_pipelines = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    sources = generate_credit_g(n_rows=800, seed=31)
+    optimizer = CollaborativeOptimizer(MaterializeAll())
+    print(f"Populating the Experiment Graph with {n_pipelines} pipelines...")
+    for spec in sample_pipeline_specs(n_pipelines, seed=11):
+        optimizer.run_script(make_pipeline_script(spec), sources)
+
+    advisor = PipelineAdvisor(optimizer.eg)
+
+    print("\nTop 5 stored models (by test accuracy):")
+    for model in advisor.best_models(source_name="openml_train", k=5):
+        print(f"  {model.meta.model_type:>28}: q={model.quality:.3f}")
+
+    print("\nRecipe of the best model:")
+    for step in advisor.describe_best_pipeline(source_name="openml_train"):
+        print(f"  {step}")
+
+    best_type = advisor.best_models(k=1)[0].meta.model_type
+    print(f"\nHyperparameter suggestions for {best_type}:")
+    for suggestion in advisor.suggest_hyperparameters(best_type, k=3):
+        quality = (
+            f"q={suggestion.observed_quality:.3f}"
+            if suggestion.observed_quality is not None
+            else "unexplored"
+        )
+        print(f"  [{suggestion.origin:>9}] {suggestion.params} ({quality})")
+
+
+if __name__ == "__main__":
+    main()

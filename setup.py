@@ -1,0 +1,11 @@
+"""Thin setuptools shim.
+
+The execution environment has no `wheel` package, so PEP 517 editable
+installs fail; this shim enables the legacy path:
+    pip install -e . --no-use-pep517 --no-build-isolation
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

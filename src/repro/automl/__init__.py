@@ -1,0 +1,5 @@
+"""Pipeline/hyperparameter recommendation from EG meta-data (paper §9)."""
+
+from .advisor import HyperparameterSuggestion, PipelineAdvisor, PipelineStep
+
+__all__ = ["PipelineAdvisor", "PipelineStep", "HyperparameterSuggestion"]

@@ -1,0 +1,218 @@
+"""Pipeline and hyperparameter recommendation from the Experiment Graph.
+
+The paper's future-work section proposes exploiting the EG's meta-data —
+operation chains, hyperparameters, and model scores — to automatically
+construct pipelines and tune hyperparameters.  This module implements that
+layer:
+
+* :meth:`PipelineAdvisor.best_models` ranks the models trained downstream
+  of a dataset by their stored quality.
+* :meth:`PipelineAdvisor.describe_pipeline` reconstructs the operation
+  chain (names + parameters) that produced any artifact, straight from the
+  EG's edges — a human-readable recipe for the best known pipeline.
+* :meth:`PipelineAdvisor.suggest_hyperparameters` proposes configurations
+  for a model type by ranking the configurations already evaluated and
+  generating unexplored neighbours of the best one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+
+from ..eg.graph import EGVertex, ExperimentGraph
+
+__all__ = ["PipelineAdvisor", "PipelineStep", "HyperparameterSuggestion"]
+
+
+@dataclass(frozen=True)
+class PipelineStep:
+    """One reconstructed operation of a stored pipeline."""
+
+    op_name: str
+    op_params: dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+    output_vertex: str = ""
+
+    def __str__(self) -> str:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in sorted(self.op_params.items()))
+        return f"{self.op_name}({rendered})"
+
+
+@dataclass
+class HyperparameterSuggestion:
+    """A candidate configuration with its provenance."""
+
+    model_type: str
+    params: dict[str, Any]
+    #: quality of the stored model this came from (None for neighbours)
+    observed_quality: float | None
+    #: "observed" = ranked stored config, "neighbour" = unexplored variant
+    origin: str
+
+
+class PipelineAdvisor:
+    """Recommends pipelines and hyperparameters from EG meta-data."""
+
+    def __init__(self, eg: ExperimentGraph):
+        self.eg = eg
+
+    # ------------------------------------------------------------------
+    def best_models(
+        self,
+        source_name: str | None = None,
+        model_type: str | None = None,
+        k: int = 5,
+    ) -> list[EGVertex]:
+        """The top-k scored model artifacts, optionally filtered.
+
+        ``source_name`` restricts to models whose lineage reaches the given
+        raw dataset; ``model_type`` restricts the estimator class.
+        """
+        reachable: set[str] | None = None
+        if source_name is not None:
+            source_id = next(
+                (
+                    vertex.vertex_id
+                    for vertex in self.eg.vertices()
+                    if vertex.is_source and vertex.source_name == source_name
+                ),
+                None,
+            )
+            if source_id is None:
+                return []
+            reachable = nx.descendants(self.eg.graph, source_id)
+
+        candidates = []
+        for vertex in self.eg.artifact_vertices():
+            if not vertex.is_model or vertex.meta is None:
+                continue
+            if vertex.meta.quality is None:
+                continue
+            if model_type is not None and vertex.meta.model_type != model_type:
+                continue
+            if reachable is not None and vertex.vertex_id not in reachable:
+                continue
+            candidates.append(vertex)
+        candidates.sort(key=lambda v: (-v.quality, v.vertex_id))
+        return candidates[:k]
+
+    # ------------------------------------------------------------------
+    def describe_pipeline(self, vertex_id: str) -> list[PipelineStep]:
+        """The operation chain that produces an artifact, source to vertex.
+
+        Follows EG edges backwards; multi-input operations contribute one
+        step (their supernode is transparent).  Steps are returned in
+        execution order.
+        """
+        if vertex_id not in self.eg:
+            raise KeyError(f"vertex {vertex_id[:12]} is not in the Experiment Graph")
+        steps: list[PipelineStep] = []
+        seen: set[str] = set()
+        stack = [vertex_id]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for parent, _dst, attrs in self.eg.graph.in_edges(current, data=True):
+                if attrs.get("op_name") is not None:
+                    steps.append(
+                        PipelineStep(
+                            op_name=attrs["op_name"],
+                            op_params=dict(attrs.get("op_params") or {}),
+                            output_vertex=current,
+                        )
+                    )
+                stack.append(parent)
+        # execution order: parents before children
+        order = {v: i for i, v in enumerate(nx.topological_sort(self.eg.graph))}
+        steps.sort(key=lambda s: order[s.output_vertex])
+        return steps
+
+    def describe_best_pipeline(
+        self, source_name: str | None = None, model_type: str | None = None
+    ) -> list[PipelineStep]:
+        """The recipe of the best stored model (convenience wrapper)."""
+        best = self.best_models(source_name=source_name, model_type=model_type, k=1)
+        if not best:
+            return []
+        return self.describe_pipeline(best[0].vertex_id)
+
+    # ------------------------------------------------------------------
+    def observed_configurations(
+        self, model_type: str
+    ) -> list[tuple[dict[str, Any], float]]:
+        """(hyperparameters, quality) for every scored model of a type."""
+        rows = []
+        for vertex in self.eg.artifact_vertices():
+            if (
+                vertex.is_model
+                and vertex.meta is not None
+                and vertex.meta.model_type == model_type
+                and vertex.meta.quality is not None
+            ):
+                rows.append((dict(vertex.meta.schema), vertex.quality))
+        rows.sort(key=lambda r: -r[1])
+        return rows
+
+    def suggest_hyperparameters(
+        self, model_type: str, k: int = 5
+    ) -> list[HyperparameterSuggestion]:
+        """Rank observed configurations and propose unexplored neighbours.
+
+        Neighbours perturb one numeric hyperparameter of the best observed
+        configuration at a time (halving and doubling), skipping
+        configurations the EG has already evaluated.
+        """
+        observed = self.observed_configurations(model_type)
+        suggestions = [
+            HyperparameterSuggestion(
+                model_type=model_type,
+                params=params,
+                observed_quality=quality,
+                origin="observed",
+            )
+            for params, quality in observed[:k]
+        ]
+        if not observed:
+            return suggestions
+
+        tried = {self._freeze(params) for params, _quality in observed}
+        best_params = observed[0][0]
+        for name, value in sorted(best_params.items()):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if name in ("random_state", "seed"):
+                continue  # perturbing the seed is not a hyperparameter move
+            for scaled in (self._scale(value, 0.5), self._scale(value, 2.0)):
+                if scaled == value:
+                    continue
+                if isinstance(value, float) and 0.0 < value <= 1.0 and scaled > 1.0:
+                    continue  # keep ratio-like parameters in (0, 1]
+                candidate = dict(best_params)
+                candidate[name] = scaled
+                if self._freeze(candidate) in tried:
+                    continue
+                tried.add(self._freeze(candidate))
+                suggestions.append(
+                    HyperparameterSuggestion(
+                        model_type=model_type,
+                        params=candidate,
+                        observed_quality=None,
+                        origin="neighbour",
+                    )
+                )
+        return suggestions
+
+    @staticmethod
+    def _scale(value: int | float, factor: float) -> int | float:
+        scaled = value * factor
+        if isinstance(value, int):
+            return max(1, int(round(scaled)))
+        return scaled
+
+    @staticmethod
+    def _freeze(params: dict[str, Any]) -> tuple:
+        return tuple(sorted((k, repr(v)) for k, v in params.items()))

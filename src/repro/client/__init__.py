@@ -1,0 +1,23 @@
+"""Client components: workload API, parser, and executor (Section 3.1)."""
+
+from .api import AggregateNode, DatasetNode, ModelNode, Node, Workspace
+from .executor import (
+    ExecutionReport,
+    Executor,
+    VirtualCostModel,
+    WallClockCostModel,
+)
+from .parser import parse_workload
+
+__all__ = [
+    "Workspace",
+    "Node",
+    "DatasetNode",
+    "ModelNode",
+    "AggregateNode",
+    "Executor",
+    "ExecutionReport",
+    "WallClockCostModel",
+    "VirtualCostModel",
+    "parse_workload",
+]

@@ -1,0 +1,172 @@
+"""Client-side executor (paper Section 3.1, Step 4).
+
+Runs the operations of an optimized workload DAG in topological order.
+Vertices selected by the reuse plan are *loaded* from the Experiment Graph
+store instead of computed; training vertices with a warmstart assignment
+are initialized from the assigned stored model.
+
+Compute times are measured with a wall clock (and can be overridden with a
+virtual cost model for timing-independent tests).  Load times are *modeled*
+via the :class:`~repro.eg.storage.LoadCostModel` — the store is in-process,
+so charging the modeled retrieval cost keeps the accounting consistent with
+the costs the planner optimized against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..eg.graph import ExperimentGraph
+from ..eg.storage import LoadCostModel
+from ..graph.artifacts import artifact_meta
+from ..graph.dag import WorkloadDAG
+from ..graph.operations import Operation, TrainOperation
+from ..reuse.plan import ReusePlan
+from ..reuse.warmstart import WarmstartAssignment
+
+__all__ = ["ExecutionReport", "Executor", "WallClockCostModel", "VirtualCostModel"]
+
+
+class WallClockCostModel:
+    """Record measured wall-clock seconds as the operation cost (default)."""
+
+    def record(self, operation: Operation, measured_seconds: float) -> float:
+        del operation
+        return measured_seconds
+
+
+class VirtualCostModel:
+    """Use an operation-declared ``virtual_cost`` when present.
+
+    Tests and the synthetic-workload experiments attach ``virtual_cost``
+    attributes to operations so that planner decisions are deterministic
+    and independent of machine speed.
+    """
+
+    def record(self, operation: Operation, measured_seconds: float) -> float:
+        return float(getattr(operation, "virtual_cost", measured_seconds))
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome and cost accounting of one workload execution."""
+
+    #: recorded compute seconds + modeled load seconds
+    total_time: float = 0.0
+    compute_time: float = 0.0
+    load_time: float = 0.0
+    executed_vertices: int = 0
+    loaded_vertices: int = 0
+    warmstarted_vertices: int = 0
+    #: seconds the optimizer spent planning (filled in by the server)
+    optimizer_overhead: float = 0.0
+    plan_algorithm: str = ""
+    terminal_values: dict[str, Any] = field(default_factory=dict)
+    #: quality of every model trained in this run, by vertex id
+    model_qualities: dict[str, float] = field(default_factory=dict)
+
+
+class Executor:
+    """Executes workload DAGs, honoring reuse plans and warmstarts."""
+
+    def __init__(
+        self,
+        cost_model: WallClockCostModel | VirtualCostModel | None = None,
+        load_cost_model: LoadCostModel | None = None,
+    ):
+        self.cost_model = cost_model if cost_model is not None else WallClockCostModel()
+        self.load_cost_model = (
+            load_cost_model if load_cost_model is not None else LoadCostModel.in_memory()
+        )
+
+    def execute(
+        self,
+        workload: WorkloadDAG,
+        plan: ReusePlan | None = None,
+        eg: ExperimentGraph | None = None,
+        warmstarts: list[WarmstartAssignment] | None = None,
+    ) -> ExecutionReport:
+        """Run the workload; mutates vertex state in place and reports costs."""
+        if not workload.terminals:
+            raise ValueError("workload has no terminal vertices to produce")
+        plan = plan if plan is not None else ReusePlan()
+        report = ExecutionReport(plan_algorithm=plan.algorithm)
+        warm_by_vertex = {w.vertex_id: w for w in (warmstarts or [])}
+
+        self._apply_loads(workload, plan, eg, report)
+
+        needed = plan.execution_set(workload)
+        for vertex_id in workload.topological_order():
+            vertex = workload.vertex(vertex_id)
+            if vertex.is_supernode or vertex.computed or vertex_id not in needed:
+                continue
+            operation = workload.incoming_operation(vertex_id)
+            if operation is None:
+                raise RuntimeError(
+                    f"vertex {vertex_id[:12]} needs computing but has no operation"
+                )
+            payloads = self._input_payloads(workload, vertex_id)
+            underlying = payloads[0] if len(payloads) == 1 else payloads
+
+            warm = warm_by_vertex.get(vertex_id)
+            started = time.perf_counter()
+            if warm is not None and isinstance(operation, TrainOperation):
+                payload = operation.run_warmstarted(underlying, warm.source_model)
+                report.warmstarted_vertices += 1
+            else:
+                payload = operation.run(underlying)
+            measured = time.perf_counter() - started
+
+            recorded = self.cost_model.record(operation, measured)
+            warmstartable = isinstance(operation, TrainOperation) and operation.warmstartable
+            vertex.record_result(payload, recorded, warmstartable=warmstartable)
+            report.executed_vertices += 1
+            report.compute_time += recorded
+
+            if isinstance(operation, TrainOperation):
+                quality = operation.score(payload, underlying)
+                if quality is not None and vertex.meta is not None:
+                    vertex.meta = vertex.meta.with_quality(quality)
+                    report.model_qualities[vertex_id] = quality
+
+        for terminal in workload.terminals:
+            report.terminal_values[terminal] = workload.vertex(terminal).data
+        report.total_time = report.compute_time + report.load_time
+        return report
+
+    # ------------------------------------------------------------------
+    def _apply_loads(
+        self,
+        workload: WorkloadDAG,
+        plan: ReusePlan,
+        eg: ExperimentGraph | None,
+        report: ExecutionReport,
+    ) -> None:
+        if plan.loads and eg is None:
+            raise ValueError("a plan with loads requires the Experiment Graph")
+        for vertex_id in sorted(plan.loads):
+            vertex = workload.vertex(vertex_id)
+            if vertex.computed:
+                continue
+            payload = eg.load(vertex_id)
+            record = eg.vertex(vertex_id)
+            vertex.data = payload
+            vertex.computed = True
+            vertex.size = record.size
+            vertex.meta = record.meta if record.meta is not None else artifact_meta(payload)
+            report.loaded_vertices += 1
+            report.load_time += self.load_cost_model.cost(record.size)
+
+    def _input_payloads(self, workload: WorkloadDAG, vertex_id: str) -> list[Any]:
+        payloads = []
+        for input_id in workload.operation_inputs(vertex_id):
+            parent = workload.vertex(input_id)
+            if not parent.computed:
+                raise RuntimeError(
+                    f"input {input_id[:12]} of {vertex_id[:12]} is not computed; "
+                    "topological execution order violated"
+                )
+            payloads.append(parent.data)
+        return payloads

@@ -1,0 +1,37 @@
+"""Script-to-DAG parsing (paper Section 3.1, Step 1).
+
+A workload *script* in this reproduction is a Python callable with the
+signature ``script(workspace, sources) -> None`` that builds nodes through
+the :class:`~repro.client.api.Workspace` API and marks its outputs with
+``.terminal()``.  :func:`parse_workload` invokes the script against a lazy
+workspace, producing the workload DAG; with ``eager=True`` the same script
+executes immediately (the no-optimizer baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from .api import Workspace
+from .executor import VirtualCostModel, WallClockCostModel
+
+__all__ = ["parse_workload"]
+
+
+def parse_workload(
+    script: Callable[[Workspace, Mapping[str, Any]], None],
+    sources: Mapping[str, Any],
+    eager: bool = False,
+    cost_model: WallClockCostModel | VirtualCostModel | None = None,
+) -> Workspace:
+    """Run a workload script and return its populated workspace.
+
+    In lazy mode the returned workspace's ``dag`` holds the parsed workload
+    DAG with terminals marked; in eager mode the script has already executed
+    and ``eager_time`` holds the measured cost.
+    """
+    workspace = Workspace(eager=eager, cost_model=cost_model)
+    script(workspace, sources)
+    if not eager and not workspace.dag.terminals:
+        raise ValueError("workload script marked no terminal vertices")
+    return workspace

@@ -1,0 +1,90 @@
+"""CSV input/output for :class:`~repro.dataframe.frame.DataFrame`.
+
+The reader infers per-column types (int → float → string) and represents
+missing values (empty fields) as NaN in numeric columns and ``None`` in
+string columns, mirroring the behaviour the paper's workloads rely on from
+pandas ``read_csv``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .column import Column
+from .frame import DataFrame
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def _parse_column(raw: list[str]) -> np.ndarray:
+    """Infer the tightest dtype for a column of raw strings."""
+    non_missing = [v for v in raw if v != ""]
+    if not non_missing:
+        return np.full(len(raw), np.nan)
+
+    try:
+        [int(v) for v in non_missing]
+        is_int = True
+    except ValueError:
+        is_int = False
+    if is_int:
+        if any(v == "" for v in raw):
+            return np.asarray([float(v) if v != "" else np.nan for v in raw])
+        return np.asarray([int(v) for v in raw], dtype=np.int64)
+
+    try:
+        [float(v) for v in non_missing]
+        is_float = True
+    except ValueError:
+        is_float = False
+    if is_float:
+        return np.asarray([float(v) if v != "" else np.nan for v in raw])
+
+    return np.asarray([v if v != "" else None for v in raw], dtype=object)
+
+
+def read_csv(path: str | Path, usecols: Sequence[str] | None = None) -> DataFrame:
+    """Read a CSV file into a DataFrame with inferred dtypes."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return DataFrame()
+        raw_columns: list[list[str]] = [[] for _ in header]
+        for row in reader:
+            # tolerate ragged rows: short rows are padded with missing
+            # values, surplus fields are dropped
+            for i in range(len(header)):
+                raw_columns[i].append(row[i] if i < len(row) else "")
+
+    columns = []
+    for name, raw in zip(header, raw_columns, strict=True):
+        if usecols is not None and name not in usecols:
+            continue
+        columns.append(Column(name, _parse_column(raw)))
+    return DataFrame(columns)
+
+
+def write_csv(frame: DataFrame, path: str | Path) -> None:
+    """Write a DataFrame to a CSV file (NaN/None become empty fields)."""
+    path = Path(path)
+    data = frame.to_dict()
+    names = frame.columns
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for i in range(frame.num_rows):
+            row = []
+            for name in names:
+                value = data[name][i]
+                if value is None or (isinstance(value, float) and np.isnan(value)):
+                    row.append("")
+                else:
+                    row.append(value)
+            writer.writerow(row)

@@ -1,0 +1,24 @@
+"""Experiment Graph: artifact meta-data graph, content stores, updater."""
+
+from .graph import EGVertex, ExperimentGraph
+from .persistence import load_eg, save_eg
+from .storage import (
+    ArtifactStore,
+    DedupArtifactStore,
+    LoadCostModel,
+    SimpleArtifactStore,
+)
+from .updater import Updater, UpdateReport
+
+__all__ = [
+    "EGVertex",
+    "ExperimentGraph",
+    "ArtifactStore",
+    "SimpleArtifactStore",
+    "DedupArtifactStore",
+    "LoadCostModel",
+    "Updater",
+    "UpdateReport",
+    "save_eg",
+    "load_eg",
+]

@@ -1,0 +1,136 @@
+"""Disk persistence for the Experiment Graph.
+
+A collaborative server restarts; the EG must survive.  ``save_eg`` writes
+the graph structure, per-vertex bookkeeping, and the artifact store's
+contents to a directory; ``load_eg`` restores them.  Formats:
+
+* ``graph.json`` — vertices (id, type, f/t/s, materialization flag, meta)
+  and edges (op hash/name, input order);
+* ``store.pkl`` — the artifact store contents, pickled.  Payloads are this
+  library's own ``DataFrame``/estimator objects, produced and consumed
+  locally by the server, so pickle's trust model matches the deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+
+from ..graph.artifacts import ArtifactMeta, ArtifactType
+from .graph import EGVertex, ExperimentGraph
+from .storage import ArtifactStore, DedupArtifactStore, SimpleArtifactStore
+
+__all__ = ["save_eg", "load_eg"]
+
+_FORMAT_VERSION = 1
+
+
+def _meta_to_dict(meta: ArtifactMeta | None) -> dict | None:
+    if meta is None:
+        return None
+    return {
+        "artifact_type": meta.artifact_type.value,
+        "schema": {k: repr(v) for k, v in meta.schema.items()},
+        "column_ids": dict(meta.column_ids),
+        "quality": meta.quality,
+        "model_type": meta.model_type,
+        "warmstartable": meta.warmstartable,
+    }
+
+
+def _meta_from_dict(data: dict | None) -> ArtifactMeta | None:
+    if data is None:
+        return None
+    return ArtifactMeta(
+        artifact_type=ArtifactType(data["artifact_type"]),
+        schema=dict(data["schema"]),
+        column_ids=dict(data["column_ids"]),
+        quality=data["quality"],
+        model_type=data["model_type"],
+        warmstartable=data["warmstartable"],
+    )
+
+
+def save_eg(eg: ExperimentGraph, directory: str | Path) -> None:
+    """Persist an Experiment Graph (structure + store) to a directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    vertices = []
+    for vertex in eg.vertices():
+        vertices.append(
+            {
+                "vertex_id": vertex.vertex_id,
+                "artifact_type": vertex.artifact_type.value,
+                "frequency": vertex.frequency,
+                "compute_time": vertex.compute_time,
+                "size": vertex.size,
+                "materialized": vertex.materialized,
+                "is_source": vertex.is_source,
+                "source_name": vertex.source_name,
+                "meta": _meta_to_dict(vertex.meta),
+            }
+        )
+    edges = [
+        {
+            "src": src,
+            "dst": dst,
+            "op_hash": attrs.get("op_hash"),
+            "op_name": attrs.get("op_name"),
+            "order": attrs.get("order", 0),
+        }
+        for src, dst, attrs in eg.graph.edges(data=True)
+    ]
+    document = {
+        "version": _FORMAT_VERSION,
+        "workloads_observed": eg.workloads_observed,
+        "store_type": type(eg.store).__name__,
+        "vertices": vertices,
+        "edges": edges,
+    }
+    (directory / "graph.json").write_text(json.dumps(document))
+    with (directory / "store.pkl").open("wb") as handle:
+        pickle.dump(eg.store, handle)
+
+
+def load_eg(directory: str | Path) -> ExperimentGraph:
+    """Restore an Experiment Graph previously written by :func:`save_eg`."""
+    directory = Path(directory)
+    document = json.loads((directory / "graph.json").read_text())
+    if document["version"] != _FORMAT_VERSION:
+        raise ValueError(f"unsupported EG format version {document['version']}")
+
+    with (directory / "store.pkl").open("rb") as handle:
+        store: ArtifactStore = pickle.load(handle)
+    if type(store).__name__ != document["store_type"]:
+        raise ValueError("store.pkl does not match the recorded store type")
+    if not isinstance(store, (SimpleArtifactStore, DedupArtifactStore)):
+        raise TypeError(f"unexpected store type {type(store).__name__}")
+
+    eg = ExperimentGraph(store)
+    eg.workloads_observed = document["workloads_observed"]
+    for record in document["vertices"]:
+        vertex = EGVertex(
+            vertex_id=record["vertex_id"],
+            artifact_type=ArtifactType(record["artifact_type"]),
+            frequency=record["frequency"],
+            compute_time=record["compute_time"],
+            size=record["size"],
+            materialized=record["materialized"],
+            is_source=record["is_source"],
+            source_name=record["source_name"],
+            meta=_meta_from_dict(record["meta"]),
+        )
+        eg.graph.add_node(vertex.vertex_id, vertex=vertex)
+        if vertex.is_source:
+            eg.source_ids.add(vertex.vertex_id)
+    for edge in document["edges"]:
+        eg.graph.add_edge(
+            edge["src"],
+            edge["dst"],
+            op_hash=edge["op_hash"],
+            op_name=edge["op_name"],
+            order=edge["order"],
+        )
+    return eg

@@ -1,0 +1,252 @@
+"""Artifact content stores and the load-cost model.
+
+The Experiment Graph always keeps artifact *meta-data*; the stores in this
+module hold the (potentially large) *content* of the materialized subset.
+
+:class:`SimpleArtifactStore` keeps whole payloads keyed by vertex id.
+:class:`DedupArtifactStore` implements the paper's storage-aware scheme
+(Section 5.3): dataset columns are stored once, keyed by their lineage id,
+with reference counting — materializing both the input and output of an
+operation that touches a single column costs only that column's bytes extra.
+
+:class:`LoadCostModel` converts a stored size into the retrieval cost
+``C_l(v)`` used by the materializer and reuse algorithms; presets model an
+in-memory, on-disk, or remote Experiment Graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..dataframe import Column, DataFrame
+from ..graph.artifacts import payload_size_bytes
+
+__all__ = [
+    "LoadCostModel",
+    "ArtifactStore",
+    "SimpleArtifactStore",
+    "DedupArtifactStore",
+]
+
+
+@dataclass(frozen=True)
+class LoadCostModel:
+    """Retrieval cost in seconds for an artifact of a given size.
+
+    ``cost = latency + size / bandwidth``.  The presets approximate the
+    paper's deployment options for where the Experiment Graph lives.
+    """
+
+    bandwidth_bytes_per_s: float
+    latency_s: float
+
+    def cost(self, size_bytes: int) -> float:
+        if size_bytes < 0:
+            raise ValueError("size must be non-negative")
+        return self.latency_s + size_bytes / self.bandwidth_bytes_per_s
+
+    @classmethod
+    def in_memory(cls) -> "LoadCostModel":
+        """EG resides in the machine's memory (paper's experimental setup)."""
+        return cls(bandwidth_bytes_per_s=4e9, latency_s=1e-5)
+
+    @classmethod
+    def on_disk(cls) -> "LoadCostModel":
+        return cls(bandwidth_bytes_per_s=2e8, latency_s=5e-3)
+
+    @classmethod
+    def remote(cls) -> "LoadCostModel":
+        return cls(bandwidth_bytes_per_s=1.25e7, latency_s=5e-2)
+
+
+class ArtifactStore:
+    """Interface for artifact content storage."""
+
+    def put(self, vertex_id: str, payload: Any) -> int:
+        """Store a payload; returns the *incremental* bytes consumed."""
+        raise NotImplementedError
+
+    def get(self, vertex_id: str) -> Any:
+        raise NotImplementedError
+
+    def remove(self, vertex_id: str) -> int:
+        """Delete a payload; returns the bytes released."""
+        raise NotImplementedError
+
+    def __contains__(self, vertex_id: str) -> bool:
+        raise NotImplementedError
+
+    @property
+    def total_bytes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def vertex_ids(self) -> set[str]:
+        raise NotImplementedError
+
+    def incremental_size(self, payloads: Iterable[tuple[str, Any]]) -> int:
+        """Bytes that storing the given payloads *would* add (dry run)."""
+        raise NotImplementedError
+
+
+class SimpleArtifactStore(ArtifactStore):
+    """Whole-artifact storage without deduplication (used by HM and Helix)."""
+
+    def __init__(self):
+        self._payloads: dict[str, Any] = {}
+        self._sizes: dict[str, int] = {}
+
+    def put(self, vertex_id: str, payload: Any) -> int:
+        if vertex_id in self._payloads:
+            return 0
+        size = payload_size_bytes(payload)
+        self._payloads[vertex_id] = payload
+        self._sizes[vertex_id] = size
+        return size
+
+    def get(self, vertex_id: str) -> Any:
+        try:
+            return self._payloads[vertex_id]
+        except KeyError:
+            raise KeyError(f"vertex {vertex_id[:12]} is not materialized") from None
+
+    def remove(self, vertex_id: str) -> int:
+        if vertex_id not in self._payloads:
+            return 0
+        del self._payloads[vertex_id]
+        return self._sizes.pop(vertex_id)
+
+    def __contains__(self, vertex_id: str) -> bool:
+        return vertex_id in self._payloads
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._sizes.values())
+
+    @property
+    def vertex_ids(self) -> set[str]:
+        return set(self._payloads)
+
+    def incremental_size(self, payloads: Iterable[tuple[str, Any]]) -> int:
+        return sum(
+            payload_size_bytes(payload)
+            for vertex_id, payload in payloads
+            if vertex_id not in self._payloads
+        )
+
+
+class DedupArtifactStore(ArtifactStore):
+    """Column-deduplicating store (paper Section 5.3).
+
+    DataFrame payloads are decomposed into columns keyed by lineage id and
+    reference-counted; a column shared by several materialized artifacts is
+    stored once.  Non-frame payloads (models, aggregates) fall back to
+    whole-object storage.
+    """
+
+    def __init__(self):
+        #: column id -> (Column, refcount)
+        self._columns: dict[str, tuple[Column, int]] = {}
+        #: vertex id -> list of (output name, column id) for frame payloads
+        self._frame_layout: dict[str, list[tuple[str, str]]] = {}
+        #: vertex id -> payload for non-frame payloads
+        self._objects: dict[str, Any] = {}
+        self._object_sizes: dict[str, int] = {}
+
+    def put(self, vertex_id: str, payload: Any) -> int:
+        if vertex_id in self:
+            return 0
+        if not isinstance(payload, DataFrame):
+            size = payload_size_bytes(payload)
+            self._objects[vertex_id] = payload
+            self._object_sizes[vertex_id] = size
+            return size
+
+        added = 0
+        layout: list[tuple[str, str]] = []
+        for name in payload.columns:
+            column = payload.column(name)
+            entry = self._columns.get(column.column_id)
+            if entry is None:
+                self._columns[column.column_id] = (column, 1)
+                added += column.nbytes
+            else:
+                self._columns[column.column_id] = (entry[0], entry[1] + 1)
+            layout.append((name, column.column_id))
+        self._frame_layout[vertex_id] = layout
+        return added
+
+    def get(self, vertex_id: str) -> Any:
+        if vertex_id in self._objects:
+            return self._objects[vertex_id]
+        layout = self._frame_layout.get(vertex_id)
+        if layout is None:
+            raise KeyError(f"vertex {vertex_id[:12]} is not materialized")
+        columns = []
+        for name, column_id in layout:
+            stored, _refs = self._columns[column_id]
+            columns.append(stored.rename(name) if stored.name != name else stored)
+        return DataFrame(columns)
+
+    def remove(self, vertex_id: str) -> int:
+        if vertex_id in self._objects:
+            del self._objects[vertex_id]
+            return self._object_sizes.pop(vertex_id)
+        layout = self._frame_layout.pop(vertex_id, None)
+        if layout is None:
+            return 0
+        released = 0
+        for _name, column_id in layout:
+            column, refs = self._columns[column_id]
+            if refs == 1:
+                del self._columns[column_id]
+                released += column.nbytes
+            else:
+                self._columns[column_id] = (column, refs - 1)
+        return released
+
+    def __contains__(self, vertex_id: str) -> bool:
+        return vertex_id in self._frame_layout or vertex_id in self._objects
+
+    @property
+    def total_bytes(self) -> int:
+        """Physical bytes used — duplicated columns counted once."""
+        columns = sum(column.nbytes for column, _refs in self._columns.values())
+        return columns + sum(self._object_sizes.values())
+
+    @property
+    def logical_bytes(self) -> int:
+        """Bytes the stored artifacts would occupy *without* deduplication.
+
+        This is the paper's "real size of the materialized artifacts"
+        (Figure 6), which for SA can exceed the physical budget severalfold.
+        """
+        logical = sum(self._object_sizes.values())
+        for layout in self._frame_layout.values():
+            for _name, column_id in layout:
+                column, _refs = self._columns[column_id]
+                logical += column.nbytes
+        return logical
+
+    @property
+    def vertex_ids(self) -> set[str]:
+        return set(self._frame_layout) | set(self._objects)
+
+    def incremental_size(self, payloads: Iterable[tuple[str, Any]]) -> int:
+        """Dry-run: physical bytes the given artifacts would add."""
+        added = 0
+        simulated: set[str] = set()
+        for vertex_id, payload in payloads:
+            if vertex_id in self:
+                continue
+            if not isinstance(payload, DataFrame):
+                added += payload_size_bytes(payload)
+                continue
+            for name in payload.columns:
+                column = payload.column(name)
+                if column.column_id in self._columns or column.column_id in simulated:
+                    continue
+                simulated.add(column.column_id)
+                added += column.nbytes
+        return added

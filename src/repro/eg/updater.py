@@ -1,0 +1,89 @@
+"""Updater — server component that maintains the Experiment Graph.
+
+After the client executes a workload, the updater (paper Section 3.2):
+
+1. stores every *source* artifact (meta-data and content) unconditionally,
+   so the EG always contains the raw datasets;
+2. unions the executed DAG into the EG, bumping frequencies and refreshing
+   measured compute times and sizes; and
+3. invokes the configured materialization algorithm and reconciles the
+   artifact store against its output — storing newly selected contents that
+   are at hand and evicting deselected ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..graph.dag import WorkloadDAG
+from ..materialization.base import Materializer
+from .graph import ExperimentGraph
+
+__all__ = ["Updater", "UpdateReport"]
+
+
+@dataclass
+class UpdateReport:
+    """What one updater invocation changed."""
+
+    new_sources: int = 0
+    newly_materialized: list[str] = field(default_factory=list)
+    evicted: list[str] = field(default_factory=list)
+    store_bytes_after: int = 0
+
+
+class Updater:
+    """Applies executed workloads to the EG and runs the materializer."""
+
+    def __init__(self, eg: ExperimentGraph, materializer: Materializer):
+        self.eg = eg
+        self.materializer = materializer
+
+    def update(self, executed: WorkloadDAG) -> UpdateReport:
+        """Union an executed workload into the EG and rematerialize."""
+        report = UpdateReport()
+
+        # Task 2: union first so materialization sees the new vertices.
+        self.eg.union_workload(executed)
+
+        # Task 1: sources are always stored, outside the budget.
+        for vertex in executed.vertices():
+            if vertex.is_source and vertex.computed:
+                if not self.eg.is_materialized(vertex.vertex_id):
+                    self.eg.materialize(vertex.vertex_id, vertex.data)
+                    report.new_sources += 1
+
+        # Task 3: run the materialization algorithm and reconcile.
+        available = self._available_payloads(executed)
+        target = self.materializer.select(self.eg, available)
+
+        current = {
+            vertex_id
+            for vertex_id in self.eg.materialized_ids()
+            if not self.eg.vertex(vertex_id).is_source
+        }
+        for vertex_id in sorted(current - target):
+            self.eg.unmaterialize(vertex_id)
+            report.evicted.append(vertex_id)
+        for vertex_id in sorted(target - current):
+            payload = available.get(vertex_id)
+            if payload is None:
+                continue  # content not obtainable right now; keep meta only
+            self.eg.materialize(vertex_id, payload)
+            report.newly_materialized.append(vertex_id)
+
+        report.store_bytes_after = self.eg.store.total_bytes
+        return report
+
+    def _available_payloads(self, executed: WorkloadDAG) -> dict[str, Any]:
+        """Contents obtainable now: just-computed plus already-stored."""
+        available: dict[str, Any] = {}
+        for vertex_id in self.eg.materialized_ids():
+            vertex = self.eg.vertex(vertex_id)
+            if not vertex.is_source:
+                available[vertex_id] = self.eg.load(vertex_id)
+        for vertex in executed.artifact_vertices():
+            if vertex.computed and not vertex.is_source and vertex.data is not None:
+                available[vertex.vertex_id] = vertex.data
+        return available

@@ -1,0 +1,172 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig5 --apps 2000
+    python -m repro.experiments fig9d --workloads 50
+    python -m repro.experiments all --apps 1000 --pipelines 200
+
+Each subcommand regenerates one table/figure and prints the series the
+paper reports.  Sizes default to laptop scale; raise ``--apps`` /
+``--pipelines`` for longer, smoother runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..workloads.home_credit import generate_home_credit
+from ..workloads.openml import generate_credit_g, sample_pipeline_specs
+from ..workloads.synthetic_dag import SyntheticDAGConfig
+from . import figures
+from .runner import scaled_budget
+
+__all__ = ["main"]
+
+
+def _print(line: str = "") -> None:
+    sys.stdout.write(line + "\n")
+
+
+def _run_table1(sources, _args) -> None:
+    _print("Table 1: Kaggle workload inventory")
+    _print(f"{'ID':>3} {'N':>5} {'S (MB)':>9}  Description")
+    for row in figures.table1(sources):
+        _print(
+            f"{row.workload_id:>3} {row.n_artifacts:>5} "
+            f"{row.size_bytes / 1e6:>9.1f}  {row.description}"
+        )
+
+
+def _run_fig4(sources, args) -> None:
+    total = figures.total_artifact_bytes(sources)
+    result = figures.fig4_repeated_runs(sources, scaled_budget(args.budget_gb, total))
+    _print("Figure 4: repeated executions (seconds)")
+    for workload_id, systems in result.times.items():
+        for system, runs in systems.items():
+            _print(f"  W{workload_id} {system:>3}: run1={runs[0]:.3f} run2={runs[1]:.3f}")
+
+
+def _run_fig5(sources, args) -> None:
+    total = figures.total_artifact_bytes(sources)
+    result = figures.fig5_sequence(sources, scaled_budget(args.budget_gb, total))
+    _print("Figure 5: cumulative run-time (seconds)")
+    for system, curve in result.cumulative.items():
+        _print(f"  {system:>3}: " + " ".join(f"{v:7.2f}" for v in curve))
+
+
+def _run_fig67(sources, _args) -> None:
+    total = figures.total_artifact_bytes(sources)
+    result = figures.fig6_fig7_materialization(sources, total)
+    _print("Figure 6: real materialized size (MB) after the last workload")
+    for strategy in ("SA", "HM", "HL", "ALL"):
+        row = [result.stored_sizes[strategy][b][-1] / 1e6 for b in result.budgets_gb]
+        _print(f"  {strategy:>4}: " + " ".join(f"{v:7.1f}" for v in row))
+    _print("Figure 7a: total run-time (seconds)")
+    for strategy in ("SA", "HM", "HL", "ALL"):
+        row = [result.total_times[strategy][b] for b in result.budgets_gb]
+        _print(f"  {strategy:>4}: " + " ".join(f"{v:7.2f}" for v in row))
+    _print("Figure 7b: final speedup vs KG")
+    for label, (strategy, budget) in {
+        "SA-8": ("SA", 8.0),
+        "SA-16": ("SA", 16.0),
+        "HL-8": ("HL", 8.0),
+        "HL-16": ("HL", 16.0),
+        "ALL": ("ALL", 8.0),
+    }.items():
+        _print(f"  {label:>6}: {result.speedup_curve(strategy, budget)[-1]:.2f}x")
+
+
+def _run_fig8(credit, args) -> None:
+    specs = sample_pipeline_specs(args.pipelines, seed=7)
+    result = figures.fig8a_model_benchmarking(specs, credit, budget_bytes=10_000_000)
+    _print("Figure 8a: model benchmarking (final cumulative seconds)")
+    _print(f"  CO : {result.cumulative_co[-1]:.2f}")
+    _print(f"  OML: {result.cumulative_oml[-1]:.2f}")
+    sweep = figures.fig8b_alpha_sweep(
+        sample_pipeline_specs(max(20, args.pipelines // 2), seed=7), credit
+    )
+    _print("Figure 8b: final delta to alpha=1 (seconds)")
+    for alpha in sweep.alphas:
+        _print(f"  alpha={alpha:4.2f}: {sweep.delta_vs_alpha1(alpha)[-1]:+.3f}")
+
+
+def _run_fig9(sources, args) -> None:
+    total = figures.total_artifact_bytes(sources)
+    result = figures.fig9_reuse_comparison(sources, scaled_budget(args.budget_gb, total))
+    _print("Figure 9a/9b: cumulative run-time after W8 (seconds)")
+    for materializer in ("HM", "SA"):
+        for reuser in ("LN", "HL", "ALL_M", "ALL_C"):
+            final = result.cumulative[materializer][reuser][-1]
+            _print(f"  {materializer}/{reuser:>5}: {final:7.2f}")
+    _print("Figure 9c: final speedup vs ALL_C (SA)")
+    for reuser in ("LN", "HL", "ALL_M"):
+        _print(f"  {reuser:>5}: {result.speedup_vs_all_c('SA', reuser)[-1]:.2f}x")
+
+
+def _run_fig9d(_sources, args) -> None:
+    config = SyntheticDAGConfig()
+    result = figures.fig9d_reuse_overhead(n_workloads=args.workloads, config=config)
+    _print(
+        f"Figure 9d over {args.workloads} workloads: LN "
+        f"{result.cumulative_ln[-1]:.2f}s vs HL {result.cumulative_hl[-1]:.2f}s "
+        f"({result.final_ratio:.0f}x)"
+    )
+
+
+def _run_fig10(credit, args) -> None:
+    specs = sample_pipeline_specs(args.pipelines, seed=7)
+    result = figures.fig10_warmstarting(specs, credit, budget_bytes=10_000_000)
+    _print("Figure 10: warmstarting (final cumulative seconds)")
+    _print(f"  OML : {result.cumulative_oml[-1]:.2f}")
+    _print(f"  CO-W: {result.cumulative_co_without[-1]:.2f}")
+    _print(f"  CO+W: {result.cumulative_co_with[-1]:.2f}")
+    _print(f"  cumulative accuracy delta: {result.cumulative_delta_accuracy[-1]:+.3f}")
+
+
+_KAGGLE_EXPERIMENTS = {
+    "table1": _run_table1,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig67,
+    "fig7": _run_fig67,
+    "fig9": _run_fig9,
+}
+_OPENML_EXPERIMENTS = {"fig8": _run_fig8, "fig10": _run_fig10}
+_STANDALONE = {"fig9d": _run_fig9d}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__
+    )
+    choices = sorted({**_KAGGLE_EXPERIMENTS, **_OPENML_EXPERIMENTS, **_STANDALONE, "all": None})
+    parser.add_argument("experiment", choices=choices)
+    parser.add_argument("--apps", type=int, default=1000, help="Home Credit applications")
+    parser.add_argument("--pipelines", type=int, default=100, help="OpenML pipelines")
+    parser.add_argument("--workloads", type=int, default=20, help="fig9d synthetic workloads")
+    parser.add_argument("--budget-gb", type=float, default=16.0, help="paper-scale budget")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    wanted = (
+        list({**_KAGGLE_EXPERIMENTS, **_OPENML_EXPERIMENTS, **_STANDALONE})
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    kaggle_sources = None
+    credit_sources = None
+    for name in wanted:
+        if name in _KAGGLE_EXPERIMENTS:
+            if kaggle_sources is None:
+                kaggle_sources = generate_home_credit(n_applications=args.apps, seed=args.seed)
+            _KAGGLE_EXPERIMENTS[name](kaggle_sources, args)
+        elif name in _OPENML_EXPERIMENTS:
+            if credit_sources is None:
+                credit_sources = generate_credit_g(n_rows=1000, seed=31)
+            _OPENML_EXPERIMENTS[name](credit_sources, args)
+        else:
+            _STANDALONE[name](None, args)
+    return 0

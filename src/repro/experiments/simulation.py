@@ -1,0 +1,133 @@
+"""Collaborative-environment simulation (the paper's motivating claim).
+
+Section 2 argues that on Kaggle three popular kernels were copied/edited
+7000+ times, so storing and reusing their artifacts would save "hundreds of
+hours".  This module simulates such a population: a stream of user events
+where each event *re-runs* a published workload, runs a *modified* copy
+(one of the derived workloads), or publishes something *new* — and compares
+the optimizer against the execute-from-scratch platform on the same event
+stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..server.service import CollaborativeOptimizer
+from .runner import make_optimizer
+
+__all__ = ["EventMix", "SimulationResult", "simulate_community"]
+
+
+@dataclass(frozen=True)
+class EventMix:
+    """Probabilities of the three user behaviours.
+
+    Defaults follow the paper's narrative: most activity is re-running
+    published kernels, a sizeable minority runs modified copies, and new
+    scripts are rare.
+    """
+
+    repeat: float = 0.65
+    modify: float = 0.30
+    fresh: float = 0.05
+
+    def __post_init__(self):
+        total = self.repeat + self.modify + self.fresh
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"event probabilities must sum to 1, got {total}")
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of one simulated event stream."""
+
+    events: list[str] = field(default_factory=list)
+    optimizer_times: list[float] = field(default_factory=list)
+    baseline_times: list[float] = field(default_factory=list)
+    loaded_artifacts: int = 0
+    executed_operations: int = 0
+
+    @property
+    def optimizer_total(self) -> float:
+        return sum(self.optimizer_times)
+
+    @property
+    def baseline_total(self) -> float:
+        return sum(self.baseline_times)
+
+    @property
+    def saving_fraction(self) -> float:
+        if self.baseline_total == 0.0:
+            return 0.0
+        return 1.0 - self.optimizer_total / self.baseline_total
+
+    def cumulative(self, which: str = "optimizer") -> list[float]:
+        times = self.optimizer_times if which == "optimizer" else self.baseline_times
+        out, acc = [], 0.0
+        for t in times:
+            acc += t
+            out.append(acc)
+        return out
+
+
+def simulate_community(
+    published: Sequence[Callable],
+    derived: Mapping[int, Sequence[Callable]],
+    sources: Mapping[str, Any],
+    n_events: int,
+    mix: EventMix | None = None,
+    seed: int = 0,
+    optimizer: CollaborativeOptimizer | None = None,
+    measure_baseline: bool = True,
+) -> SimulationResult:
+    """Run a stream of community events through one shared Experiment Graph.
+
+    Parameters
+    ----------
+    published:
+        The "popular kernels" — repeat events re-run one of these.
+    derived:
+        For each published index, the modified copies users run; modify
+        events pick one.  "Fresh" events draw from derived scripts that
+        have not been seen yet (falling back to modify behaviour once all
+        have appeared).
+    n_events:
+        Length of the simulated event stream.
+    measure_baseline:
+        Also execute every event eagerly (the platform-without-optimizer
+        cost).  Disable to halve the simulation time when only optimizer
+        behaviour matters.
+    """
+    mix = mix or EventMix()
+    rng = np.random.default_rng(seed)
+    optimizer = optimizer if optimizer is not None else make_optimizer("SA", None)
+
+    unseen: list[Callable] = [s for scripts in derived.values() for s in scripts]
+    result = SimulationResult()
+    for _event in range(n_events):
+        roll = rng.random()
+        if roll < mix.repeat or not unseen and roll < mix.repeat + mix.fresh:
+            kind = "repeat"
+            script = published[int(rng.integers(0, len(published)))]
+        elif roll < mix.repeat + mix.modify or not unseen:
+            kind = "modify"
+            base = int(rng.integers(0, len(published)))
+            pool = derived.get(base) or published
+            script = pool[int(rng.integers(0, len(pool)))]
+        else:
+            kind = "fresh"
+            script = unseen.pop(int(rng.integers(0, len(unseen))))
+
+        report = optimizer.run_script(script, sources)
+        result.events.append(kind)
+        result.optimizer_times.append(report.total_time)
+        result.loaded_artifacts += report.loaded_vertices
+        result.executed_operations += report.executed_vertices
+        if measure_baseline:
+            baseline = CollaborativeOptimizer.run_baseline(script, sources)
+            result.baseline_times.append(baseline.total_time)
+    return result

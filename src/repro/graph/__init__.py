@@ -1,0 +1,29 @@
+"""Workload DAG data model (paper Section 4)."""
+
+from .artifacts import ArtifactMeta, ArtifactType, artifact_meta, payload_size_bytes
+from .dag import Vertex, WorkloadDAG, derived_vertex_id, source_vertex_id
+from .operations import (
+    DataOperation,
+    FunctionOperation,
+    Operation,
+    TrainOperation,
+    operation_hash,
+)
+from .pruning import prune_workload
+
+__all__ = [
+    "ArtifactMeta",
+    "ArtifactType",
+    "artifact_meta",
+    "payload_size_bytes",
+    "Vertex",
+    "WorkloadDAG",
+    "derived_vertex_id",
+    "source_vertex_id",
+    "Operation",
+    "DataOperation",
+    "TrainOperation",
+    "FunctionOperation",
+    "operation_hash",
+    "prune_workload",
+]

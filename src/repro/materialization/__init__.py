@@ -1,0 +1,18 @@
+"""Artifact materialization algorithms (paper Section 5)."""
+
+from .base import Materializer, VertexUtility, compute_utilities
+from .helix import HelixMaterializer
+from .heuristic import HeuristicMaterializer
+from .simple import MaterializeAll, MaterializeNone
+from .storage_aware import StorageAwareMaterializer
+
+__all__ = [
+    "Materializer",
+    "VertexUtility",
+    "compute_utilities",
+    "HeuristicMaterializer",
+    "StorageAwareMaterializer",
+    "HelixMaterializer",
+    "MaterializeAll",
+    "MaterializeNone",
+]

@@ -1,0 +1,110 @@
+"""Materializer interface and shared utility computation (paper Section 5).
+
+A materializer examines the Experiment Graph after each workload execution
+and returns the *target set* of vertex ids whose content should be stored,
+subject to a byte budget.  The updater then reconciles the artifact store
+against that target set (storing newly selected artifacts whose payload is
+at hand, evicting deselected ones).
+
+The utility function (Equation 2 of the paper) combines the vertex's
+*potential* p(v) — the quality of the best reachable ML model — with its
+weighted cost-size ratio r_cs(v) = f · C_r(v) / s; vertices whose load cost
+exceeds their recreation cost get zero utility and are never materialized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..eg.graph import ExperimentGraph
+from ..eg.storage import LoadCostModel
+
+__all__ = ["Materializer", "VertexUtility", "compute_utilities"]
+
+
+@dataclass
+class VertexUtility:
+    """Inputs and output of the utility function for one vertex."""
+
+    vertex_id: str
+    potential: float
+    recreation_cost: float
+    load_cost: float
+    cost_size_ratio: float
+    size: int
+    utility: float
+
+
+def compute_utilities(
+    eg: ExperimentGraph,
+    load_cost_model: LoadCostModel,
+    alpha: float,
+    candidate_ids: set[str] | None = None,
+) -> dict[str, VertexUtility]:
+    """Evaluate Equation 2 for every candidate vertex of the EG.
+
+    Candidates default to every non-source artifact vertex with known,
+    positive size.  ``alpha`` weights model quality against the cost-size
+    ratio; both components are normalized over the candidate set.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+
+    recreation = eg.recreation_costs()
+    potential = eg.potentials()
+
+    rows: list[VertexUtility] = []
+    for vertex in eg.artifact_vertices():
+        if candidate_ids is not None and vertex.vertex_id not in candidate_ids:
+            continue
+        if candidate_ids is None and (vertex.is_source or vertex.size <= 0):
+            continue
+        cr = recreation[vertex.vertex_id]
+        size = max(vertex.size, 1)
+        rcs = vertex.frequency * cr / (size / 1e6)  # seconds per MB, per paper
+        rows.append(
+            VertexUtility(
+                vertex_id=vertex.vertex_id,
+                potential=potential[vertex.vertex_id],
+                recreation_cost=cr,
+                load_cost=load_cost_model.cost(vertex.size),
+                cost_size_ratio=rcs,
+                size=vertex.size,
+                utility=0.0,
+            )
+        )
+
+    total_potential = sum(r.potential for r in rows)
+    total_rcs = sum(r.cost_size_ratio for r in rows)
+    for row in rows:
+        if row.load_cost >= row.recreation_cost:
+            row.utility = 0.0
+            continue
+        p_norm = row.potential / total_potential if total_potential > 0 else 0.0
+        r_norm = row.cost_size_ratio / total_rcs if total_rcs > 0 else 0.0
+        row.utility = alpha * p_norm + (1.0 - alpha) * r_norm
+    return {row.vertex_id: row for row in rows}
+
+
+class Materializer:
+    """Strategy deciding which artifact contents to keep, given a budget."""
+
+    #: human-readable name used in experiment output ("HM", "SA", "HL", ...)
+    name: str = "base"
+
+    def __init__(self, budget_bytes: float | None):
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError("budget must be non-negative")
+        self.budget_bytes = budget_bytes
+
+    def select(
+        self, eg: ExperimentGraph, available: Mapping[str, Any]
+    ) -> set[str]:
+        """Return the target set of materialized vertex ids.
+
+        ``available`` maps vertex id to payload for every artifact whose
+        content is currently obtainable (just computed, or already stored);
+        a materializer must only select vertices from this mapping.
+        """
+        raise NotImplementedError

@@ -1,0 +1,69 @@
+"""ML-based greedy materialization — Algorithm 1 of the paper ("HM").
+
+Vertices are ranked by the utility function (Equation 2) and materialized
+greedily until the byte budget is exhausted.  Each invocation re-evaluates
+the utilities of the incoming workload's vertices *and* of the currently
+materialized set, so low-utility artifacts can be evicted when better
+candidates arrive (the behaviour Figure 6 of the paper depends on).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Mapping
+
+from ..eg.graph import ExperimentGraph
+from ..eg.storage import LoadCostModel
+from .base import Materializer, compute_utilities
+
+__all__ = ["HeuristicMaterializer"]
+
+
+class HeuristicMaterializer(Materializer):
+    """Greedy utility-driven artifact selection (paper Algorithm 1)."""
+
+    name = "HM"
+
+    def __init__(
+        self,
+        budget_bytes: float | None,
+        alpha: float = 0.5,
+        load_cost_model: LoadCostModel | None = None,
+        max_artifacts: int | None = None,
+    ):
+        super().__init__(budget_bytes)
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = alpha
+        self.load_cost_model = (
+            load_cost_model if load_cost_model is not None else LoadCostModel.in_memory()
+        )
+        #: optional cap on the *number* of artifacts (paper's Figure 8b uses
+        #: a budget of "one artifact" to isolate the effect of alpha)
+        self.max_artifacts = max_artifacts
+
+    def select(self, eg: ExperimentGraph, available: Mapping[str, Any]) -> set[str]:
+        utilities = compute_utilities(eg, self.load_cost_model, self.alpha)
+
+        heap: list[tuple[float, float, str]] = []
+        for vertex_id, row in utilities.items():
+            if vertex_id not in available:
+                continue
+            if row.utility <= 0.0:
+                continue
+            # max-heap via negated utility; equal utilities (e.g. a model and
+            # its ancestors under alpha=1) prefer the costliest to recreate
+            heapq.heappush(heap, (-row.utility, -row.recreation_cost, vertex_id))
+
+        selected: set[str] = set()
+        spent = 0.0
+        while heap:
+            _neg_utility, _neg_cr, vertex_id = heapq.heappop(heap)
+            size = utilities[vertex_id].size
+            if self.budget_bytes is not None and spent + size > self.budget_bytes:
+                continue
+            if self.max_artifacts is not None and len(selected) >= self.max_artifacts:
+                break
+            selected.add(vertex_id)
+            spent += size
+        return selected

@@ -1,0 +1,45 @@
+"""Trivial materialization strategies used as experiment endpoints.
+
+``ALL`` stores every artifact (the paper's upper bound on reuse benefit,
+Figures 6-7); ``NONE`` stores nothing (pure recomputation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..eg.graph import ExperimentGraph
+from .base import Materializer
+
+__all__ = ["MaterializeAll", "MaterializeNone"]
+
+
+class MaterializeAll(Materializer):
+    """Store the content of every artifact whose payload is available."""
+
+    name = "ALL"
+
+    def __init__(self):
+        super().__init__(budget_bytes=None)
+
+    def select(self, eg: ExperimentGraph, available: Mapping[str, Any]) -> set[str]:
+        selected = set(eg.materialized_ids())
+        for vertex in eg.artifact_vertices():
+            if vertex.is_source or vertex.size <= 0:
+                continue
+            if vertex.vertex_id in available:
+                selected.add(vertex.vertex_id)
+        return selected
+
+
+class MaterializeNone(Materializer):
+    """Never store artifact content (baseline: recompute everything)."""
+
+    name = "NONE"
+
+    def __init__(self):
+        super().__init__(budget_bytes=0)
+
+    def select(self, eg: ExperimentGraph, available: Mapping[str, Any]) -> set[str]:
+        del available
+        return set()

@@ -1,0 +1,125 @@
+"""Storage-aware materialization — the meta-algorithm of Section 5.3 ("SA").
+
+Feature-engineering operations often copy most of their input columns
+unchanged, so artifacts overlap heavily at column granularity.  SA
+repeatedly invokes the greedy Algorithm 1, then *compresses* the chosen
+artifacts with column-level deduplication, charges only the deduplicated
+(physical) bytes against the budget, and re-invokes the greedy step with
+the freed budget — until no new vertex is selected or the budget is spent.
+
+Paired with :class:`~repro.eg.storage.DedupArtifactStore`, the logical
+("real") size of what SA stores can exceed the physical budget severalfold
+(Figure 6 of the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Mapping
+
+from ..dataframe import DataFrame
+from ..eg.graph import ExperimentGraph
+from ..eg.storage import LoadCostModel
+from ..graph.artifacts import payload_size_bytes
+from .base import Materializer, compute_utilities
+
+__all__ = ["StorageAwareMaterializer"]
+
+
+class _DedupFootprint:
+    """Simulates the physical bytes of a column-deduplicating store."""
+
+    def __init__(self):
+        self._column_ids: set[str] = set()
+
+    def incremental_bytes(self, payload: Any) -> int:
+        """Physical bytes this payload would add, without committing."""
+        if not isinstance(payload, DataFrame):
+            return payload_size_bytes(payload)
+        added = 0
+        for name in payload.columns:
+            column = payload.column(name)
+            if column.column_id not in self._column_ids:
+                added += column.nbytes
+        return added
+
+    def add(self, payload: Any) -> int:
+        """Commit a payload; returns the physical bytes it added."""
+        if not isinstance(payload, DataFrame):
+            return payload_size_bytes(payload)
+        added = 0
+        for name in payload.columns:
+            column = payload.column(name)
+            if column.column_id not in self._column_ids:
+                self._column_ids.add(column.column_id)
+                added += column.nbytes
+        return added
+
+
+class StorageAwareMaterializer(Materializer):
+    """Iterated greedy selection with column-dedup budget accounting."""
+
+    name = "SA"
+
+    def __init__(
+        self,
+        budget_bytes: float | None,
+        alpha: float = 0.5,
+        load_cost_model: LoadCostModel | None = None,
+        max_rounds: int = 50,
+    ):
+        super().__init__(budget_bytes)
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = alpha
+        self.load_cost_model = (
+            load_cost_model if load_cost_model is not None else LoadCostModel.in_memory()
+        )
+        self.max_rounds = max_rounds
+
+    def select(self, eg: ExperimentGraph, available: Mapping[str, Any]) -> set[str]:
+        utilities = compute_utilities(eg, self.load_cost_model, self.alpha)
+
+        candidates = [
+            (vertex_id, row)
+            for vertex_id, row in utilities.items()
+            if vertex_id in available and row.utility > 0.0
+        ]
+        # max-heap ordered by utility; equal utilities prefer the costliest
+        # to recreate, then the vertex id for determinism
+        heap = [
+            (-row.utility, -row.recreation_cost, vertex_id)
+            for vertex_id, row in candidates
+        ]
+        heapq.heapify(heap)
+
+        selected: set[str] = set()
+        footprint = _DedupFootprint()
+        remaining = float("inf") if self.budget_bytes is None else float(self.budget_bytes)
+
+        for _round in range(self.max_rounds):
+            if remaining <= 0.0 or not heap:
+                break
+            # one invocation of Algorithm 1 against the remaining budget,
+            # using logical sizes (the greedy step is dedup-oblivious)
+            round_picks: list[str] = []
+            deferred: list[tuple[float, float, str]] = []
+            logical_spent = 0.0
+            while heap:
+                neg_utility, neg_cr, vertex_id = heapq.heappop(heap)
+                size = utilities[vertex_id].size
+                if logical_spent + size > remaining:
+                    deferred.append((neg_utility, neg_cr, vertex_id))
+                    continue
+                round_picks.append(vertex_id)
+                logical_spent += size
+            for item in deferred:
+                heapq.heappush(heap, item)
+            if not round_picks:
+                break
+            # compression step: charge only the physical (deduplicated) bytes
+            for vertex_id in round_picks:
+                physical = footprint.add(available[vertex_id])
+                remaining -= physical
+                selected.add(vertex_id)
+        return selected

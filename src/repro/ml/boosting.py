@@ -1,0 +1,108 @@
+"""AdaBoost (SAMME) over decision stumps.
+
+A second boosted-ensemble family: like the gradient booster it is
+warmstartable — training can continue from a previously boosted model's
+weak learners and weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin, check_Xy
+from .tree import DecisionTreeClassifier
+
+__all__ = ["AdaBoostClassifier"]
+
+
+class AdaBoostClassifier(BaseEstimator, ClassifierMixin):
+    """Discrete AdaBoost with depth-limited tree weak learners."""
+
+    supports_warm_start = True
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 1,
+        learning_rate: float = 1.0,
+        random_state: int = 0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        warm_start_from: "AdaBoostClassifier | None" = None,
+    ) -> "AdaBoostClassifier":
+        X, y = check_Xy(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) != 2:
+            raise ValueError("binary classification only")
+        y_signed = np.where(y == self.classes_[1], 1.0, -1.0)
+        rng = np.random.default_rng(self.random_state)
+
+        if (
+            warm_start_from is not None
+            and warm_start_from.is_fitted
+            and warm_start_from.n_features_ == X.shape[1]
+        ):
+            self.estimators_ = list(warm_start_from.estimators_)
+            self.estimator_weights_ = list(warm_start_from.estimator_weights_)
+            self.warm_started_ = True
+        else:
+            self.estimators_ = []
+            self.estimator_weights_ = []
+            self.warm_started_ = False
+        self.n_features_ = X.shape[1]
+
+        # reconstruct the sample weights implied by the inherited ensemble
+        weights = np.full(len(X), 1.0 / len(X))
+        for stump, alpha in zip(self.estimators_, self.estimator_weights_):
+            predictions = np.where(stump.predict(X) == self.classes_[1], 1.0, -1.0)
+            weights *= np.exp(-alpha * y_signed * predictions)
+            weights /= weights.sum()
+
+        rounds_remaining = max(0, self.n_estimators - len(self.estimators_))
+        self.n_rounds_trained_ = rounds_remaining
+        for _ in range(rounds_remaining):
+            stump = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            sample = rng.choice(len(X), size=len(X), replace=True, p=weights)
+            stump.fit(X[sample], y[sample])
+            predictions = np.where(stump.predict(X) == self.classes_[1], 1.0, -1.0)
+            error = float(np.clip((weights * (predictions != y_signed)).sum(), 1e-10, 1 - 1e-10))
+            alpha = 0.5 * self.learning_rate * np.log((1.0 - error) / error)
+            if alpha <= 0.0:
+                # weak learner no better than chance: stop boosting
+                break
+            self.estimators_.append(stump)
+            self.estimator_weights_.append(float(alpha))
+            weights *= np.exp(-alpha * y_signed * predictions)
+            weights /= weights.sum()
+        self._mark_fitted()
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_Xy(X)
+        total = np.zeros(len(X))
+        for stump, alpha in zip(self.estimators_, self.estimator_weights_):
+            predictions = np.where(stump.predict(X) == self.classes_[1], 1.0, -1.0)
+            total += alpha * predictions
+        return total
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.where(
+            self.decision_function(X) >= 0.0, self.classes_[1], self.classes_[0]
+        )
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        margins = self.decision_function(X)
+        p1 = 1.0 / (1.0 + np.exp(-2.0 * np.clip(margins, -250, 250)))
+        return np.column_stack([1.0 - p1, p1])

@@ -1,0 +1,101 @@
+"""Clustering: k-means (Lloyd's algorithm with k-means++ seeding).
+
+Cluster assignments are a common engineered feature in Kaggle kernels
+(e.g. customer-segment ids), so KMeans doubles as a transformer: its
+``transform`` returns distances to each centroid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, TransformerMixin, check_Xy
+
+__all__ = ["KMeans"]
+
+
+class KMeans(BaseEstimator, TransformerMixin):
+    """Lloyd's algorithm with k-means++ initialization."""
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        random_state: int = 0,
+    ):
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be positive")
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+
+    def _plus_plus_init(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        n = len(X)
+        centroids = np.empty((self.n_clusters, X.shape[1]))
+        centroids[0] = X[rng.integers(0, n)]
+        distances = ((X - centroids[0]) ** 2).sum(axis=1)
+        for k in range(1, self.n_clusters):
+            total = distances.sum()
+            if total <= 0.0:
+                centroids[k:] = X[rng.integers(0, n, size=self.n_clusters - k)]
+                break
+            probabilities = distances / total
+            choice = rng.choice(n, p=probabilities)
+            centroids[k] = X[choice]
+            distances = np.minimum(
+                distances, ((X - centroids[k]) ** 2).sum(axis=1)
+            )
+        return centroids
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "KMeans":
+        X, _ = check_Xy(X)
+        if len(X) < self.n_clusters:
+            raise ValueError(
+                f"n_clusters={self.n_clusters} exceeds the {len(X)} samples"
+            )
+        rng = np.random.default_rng(self.random_state)
+        centroids = self._plus_plus_init(X, rng)
+
+        for iteration in range(1, self.max_iter + 1):
+            labels = self._assign(X, centroids)
+            updated = centroids.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if len(members):
+                    updated[k] = members.mean(axis=0)
+            shift = float(np.max(np.abs(updated - centroids)))
+            centroids = updated
+            if shift < self.tol:
+                break
+        self.cluster_centers_ = centroids
+        self.labels_ = self._assign(X, centroids)
+        self.inertia_ = float(
+            ((X - centroids[self.labels_]) ** 2).sum()
+        )
+        self.n_iter_ = iteration
+        self._mark_fitted()
+        return self
+
+    @staticmethod
+    def _assign(X: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+        distances = (
+            (X**2).sum(axis=1, keepdims=True)
+            - 2.0 * X @ centroids.T
+            + (centroids**2).sum(axis=1)
+        )
+        return np.argmin(distances, axis=1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid index for each row."""
+        self._check_fitted()
+        X, _ = check_Xy(X)
+        return self._assign(X, self.cluster_centers_)
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Euclidean distance to every centroid (cluster-feature matrix)."""
+        self._check_fitted()
+        X, _ = check_Xy(X)
+        deltas = X[:, None, :] - self.cluster_centers_[None, :, :]
+        return np.sqrt((deltas**2).sum(axis=2))

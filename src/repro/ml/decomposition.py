@@ -1,0 +1,71 @@
+"""Matrix decompositions: PCA and truncated SVD."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, TransformerMixin, check_Xy
+
+__all__ = ["PCA", "TruncatedSVD"]
+
+
+class PCA(BaseEstimator, TransformerMixin):
+    """Principal component analysis via SVD of the centered data."""
+
+    def __init__(self, n_components: int = 2):
+        if n_components < 1:
+            raise ValueError("n_components must be positive")
+        self.n_components = n_components
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "PCA":
+        X, _ = check_Xy(X)
+        k = min(self.n_components, X.shape[1], len(X))
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _u, s, vt = np.linalg.svd(centered, full_matrices=False)
+        # deterministic sign: largest-magnitude loading positive
+        signs = np.sign(vt[np.arange(len(vt)), np.argmax(np.abs(vt), axis=1)])
+        signs[signs == 0.0] = 1.0
+        vt = vt * signs[:, None]
+        self.components_ = vt[:k]
+        explained = (s**2) / max(len(X) - 1, 1)
+        total = explained.sum()
+        self.explained_variance_ = explained[:k]
+        self.explained_variance_ratio_ = (
+            explained[:k] / total if total > 0 else np.zeros(k)
+        )
+        self._mark_fitted()
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_Xy(X)
+        return (X - self.mean_) @ self.components_.T
+
+    def inverse_transform(self, Z: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        Z = np.asarray(Z, dtype=float)
+        return Z @ self.components_ + self.mean_
+
+
+class TruncatedSVD(BaseEstimator, TransformerMixin):
+    """Low-rank SVD without centering (suitable for count matrices)."""
+
+    def __init__(self, n_components: int = 2):
+        if n_components < 1:
+            raise ValueError("n_components must be positive")
+        self.n_components = n_components
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "TruncatedSVD":
+        X, _ = check_Xy(X)
+        k = min(self.n_components, X.shape[1], len(X))
+        _u, s, vt = np.linalg.svd(X, full_matrices=False)
+        self.components_ = vt[:k]
+        self.singular_values_ = s[:k]
+        self._mark_fitted()
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_Xy(X)
+        return X @ self.components_.T

@@ -1,0 +1,127 @@
+"""Text vectorizers (CountVectorizer / TfidfVectorizer / HashingVectorizer).
+
+Listing 1 of the paper runs ``CountVectorizer`` over an ad-description
+column; these vectorizers provide the same API on top of numpy.  The output
+is a dense matrix, which is acceptable at the laptop scale the reproduction
+targets.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+
+import numpy as np
+
+from .base import BaseEstimator, TransformerMixin
+
+__all__ = ["CountVectorizer", "TfidfVectorizer", "HashingVectorizer"]
+
+_TOKEN_PATTERN = re.compile(r"(?u)\b\w\w+\b")
+
+
+def _tokenize(document: str, lowercase: bool) -> list[str]:
+    if document is None:
+        return []
+    text = str(document)
+    if lowercase:
+        text = text.lower()
+    return _TOKEN_PATTERN.findall(text)
+
+
+class CountVectorizer(BaseEstimator, TransformerMixin):
+    """Bag-of-words token counts."""
+
+    def __init__(
+        self,
+        max_features: int | None = None,
+        min_df: int = 1,
+        lowercase: bool = True,
+        binary: bool = False,
+    ):
+        self.max_features = max_features
+        self.min_df = min_df
+        self.lowercase = lowercase
+        self.binary = binary
+
+    def fit(self, documents: np.ndarray, y: np.ndarray | None = None) -> "CountVectorizer":
+        document_frequency: dict[str, int] = {}
+        total_frequency: dict[str, int] = {}
+        for document in np.asarray(documents).ravel():
+            tokens = _tokenize(document, self.lowercase)
+            for token in set(tokens):
+                document_frequency[token] = document_frequency.get(token, 0) + 1
+            for token in tokens:
+                total_frequency[token] = total_frequency.get(token, 0) + 1
+        terms = [t for t, df in document_frequency.items() if df >= self.min_df]
+        if self.max_features is not None and len(terms) > self.max_features:
+            terms.sort(key=lambda t: (-total_frequency[t], t))
+            terms = terms[: self.max_features]
+        self.vocabulary_ = {term: i for i, term in enumerate(sorted(terms))}
+        self._mark_fitted()
+        return self
+
+    def transform(self, documents: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        documents = np.asarray(documents).ravel()
+        matrix = np.zeros((len(documents), len(self.vocabulary_)))
+        for i, document in enumerate(documents):
+            for token in _tokenize(document, self.lowercase):
+                j = self.vocabulary_.get(token)
+                if j is not None:
+                    matrix[i, j] += 1.0
+        if self.binary:
+            matrix = (matrix > 0).astype(float)
+        return matrix
+
+    def get_feature_names(self) -> list[str]:
+        self._check_fitted()
+        names = [""] * len(self.vocabulary_)
+        for term, index in self.vocabulary_.items():
+            names[index] = term
+        return names
+
+
+class TfidfVectorizer(CountVectorizer):
+    """TF-IDF weighted bag of words (smooth idf, L2 normalization)."""
+
+    def fit(self, documents: np.ndarray, y: np.ndarray | None = None) -> "TfidfVectorizer":
+        super().fit(documents, y)
+        counts = super().transform(documents)
+        n = len(counts)
+        df = (counts > 0).sum(axis=0)
+        self.idf_ = np.log((1.0 + n) / (1.0 + df)) + 1.0
+        return self
+
+    def transform(self, documents: np.ndarray) -> np.ndarray:
+        counts = super().transform(documents)
+        weighted = counts * self.idf_
+        norms = np.linalg.norm(weighted, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return weighted / norms
+
+
+class HashingVectorizer(BaseEstimator, TransformerMixin):
+    """Stateless vectorizer hashing tokens into a fixed number of buckets."""
+
+    def __init__(self, n_features: int = 256, lowercase: bool = True):
+        if n_features < 1:
+            raise ValueError("n_features must be positive")
+        self.n_features = n_features
+        self.lowercase = lowercase
+
+    def fit(self, documents: np.ndarray, y: np.ndarray | None = None) -> "HashingVectorizer":
+        self._mark_fitted()
+        return self
+
+    def transform(self, documents: np.ndarray) -> np.ndarray:
+        documents = np.asarray(documents).ravel()
+        matrix = np.zeros((len(documents), self.n_features))
+        for i, document in enumerate(documents):
+            for token in _tokenize(document, self.lowercase):
+                # crc32 is stable across processes, unlike builtin hash()
+                digest = zlib.crc32(token.encode("utf-8"))
+                bucket = digest % self.n_features
+                sign = 1.0 if (digest >> 31) & 1 == 0 else -1.0
+                matrix[i, bucket] += sign
+        return matrix

@@ -1,0 +1,181 @@
+"""Evaluation metrics.
+
+The optimizer scores every model artifact with a quality ``q`` in [0, 1]
+(paper Section 5); the Kaggle use case uses area under the ROC curve, so
+:func:`roc_auc_score` is the headline metric here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "roc_auc_score",
+    "roc_curve",
+    "precision_recall_curve",
+    "log_loss",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+]
+
+
+def _check_same_length(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if len(y_true) != len(y_pred):
+        raise ValueError(f"length mismatch: {len(y_true)} vs {len(y_pred)}")
+    if len(y_true) == 0:
+        raise ValueError("empty input")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly correct predictions."""
+    y_true, y_pred = _check_same_length(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve for binary labels.
+
+    Computed via the rank statistic (Mann-Whitney U), which handles tied
+    scores by midranks.
+    """
+    y_true, y_score = _check_same_length(y_true, y_score)
+    y_true = y_true.astype(float)
+    positives = y_true == 1
+    n_pos = int(positives.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc_score requires both classes present")
+    order = np.argsort(y_score, kind="mergesort")
+    ranks = np.empty(len(y_score), dtype=float)
+    sorted_scores = y_score[order]
+    # midranks for ties
+    i = 0
+    position = 1.0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        midrank = (position + position + (j - i)) / 2.0
+        ranks[order[i : j + 1]] = midrank
+        position += j - i + 1
+        i = j + 1
+    rank_sum = ranks[positives].sum()
+    auc = (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+    return float(auc)
+
+
+def roc_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(false-positive rate, true-positive rate, thresholds).
+
+    Thresholds are the distinct scores in decreasing order; the curve
+    starts at (0, 0) with an implicit +inf threshold.
+    """
+    y_true, y_score = _check_same_length(y_true, y_score)
+    positives = (y_true == 1).astype(float)
+    n_pos = positives.sum()
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_curve requires both classes present")
+    order = np.argsort(-y_score, kind="mergesort")
+    sorted_scores = y_score[order]
+    sorted_positives = positives[order]
+    cumulative_tp = np.cumsum(sorted_positives)
+    cumulative_fp = np.cumsum(1.0 - sorted_positives)
+    # keep the last index of each distinct score (threshold boundaries)
+    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0)
+    keep = np.r_[boundaries, len(sorted_scores) - 1]
+    tpr = np.r_[0.0, cumulative_tp[keep] / n_pos]
+    fpr = np.r_[0.0, cumulative_fp[keep] / n_neg]
+    thresholds = np.r_[np.inf, sorted_scores[keep]]
+    return fpr, tpr, thresholds
+
+
+def precision_recall_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(precision, recall, thresholds), thresholds in decreasing order."""
+    y_true, y_score = _check_same_length(y_true, y_score)
+    positives = (y_true == 1).astype(float)
+    n_pos = positives.sum()
+    if n_pos == 0:
+        raise ValueError("precision_recall_curve requires positive samples")
+    order = np.argsort(-y_score, kind="mergesort")
+    sorted_scores = y_score[order]
+    sorted_positives = positives[order]
+    cumulative_tp = np.cumsum(sorted_positives)
+    predicted = np.arange(1, len(y_true) + 1, dtype=float)
+    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0)
+    keep = np.r_[boundaries, len(sorted_scores) - 1]
+    precision = cumulative_tp[keep] / predicted[keep]
+    recall = cumulative_tp[keep] / n_pos
+    thresholds = sorted_scores[keep]
+    return precision, recall, thresholds
+
+
+def log_loss(y_true: np.ndarray, y_proba: np.ndarray, eps: float = 1e-15) -> float:
+    """Binary cross-entropy between labels and predicted probabilities."""
+    y_true, y_proba = _check_same_length(y_true, y_proba)
+    p = np.clip(y_proba.astype(float), eps, 1.0 - eps)
+    t = y_true.astype(float)
+    return float(-np.mean(t * np.log(p) + (1.0 - t) * np.log(1.0 - p)))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 matrix [[tn, fp], [fn, tp]] for binary labels."""
+    y_true, y_pred = _check_same_length(y_true, y_pred)
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    return np.asarray([[tn, fp], [fn, tp]])
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fp = matrix[1, 1], matrix[0, 1]
+    return float(tp / (tp + fp)) if tp + fp else 0.0
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fn = matrix[1, 1], matrix[1, 0]
+    return float(tp / (tp + fn)) if tp + fn else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _check_same_length(y_true, y_pred)
+    return float(np.mean((y_true.astype(float) - y_pred.astype(float)) ** 2))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _check_same_length(y_true, y_pred)
+    return float(np.mean(np.abs(y_true.astype(float) - y_pred.astype(float))))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _check_same_length(y_true, y_pred)
+    y_true = y_true.astype(float)
+    residual = np.sum((y_true - y_pred.astype(float)) ** 2)
+    total = np.sum((y_true - y_true.mean()) ** 2)
+    if total == 0.0:
+        return 0.0 if residual > 0 else 1.0
+    return float(1.0 - residual / total)

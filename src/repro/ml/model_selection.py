@@ -1,0 +1,228 @@
+"""Data splitting and hyperparameter search.
+
+Workload 5 of the paper performs random and grid search for gradient
+boosted trees; :class:`GridSearchCV` and :class:`RandomizedSearchCV`
+reproduce that behaviour on the from-scratch estimators.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .base import BaseEstimator, check_Xy, clone
+
+__all__ = [
+    "train_test_split",
+    "KFold",
+    "StratifiedKFold",
+    "cross_val_score",
+    "GridSearchCV",
+    "RandomizedSearchCV",
+]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.25,
+    random_state: int = 0,
+    stratify: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split arrays into train and test subsets."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y must have the same length")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(random_state)
+    n_test = max(1, int(round(test_size * len(X))))
+    if stratify:
+        test_indices: list[int] = []
+        for c in np.unique(y):
+            members = np.flatnonzero(y == c)
+            rng.shuffle(members)
+            take = max(1, int(round(test_size * len(members))))
+            test_indices.extend(members[:take])
+        test_idx = np.asarray(sorted(test_indices))
+    else:
+        permutation = rng.permutation(len(X))
+        test_idx = np.sort(permutation[:n_test])
+    mask = np.zeros(len(X), dtype=bool)
+    mask[test_idx] = True
+    return X[~mask], X[mask], y[~mask], y[mask]
+
+
+class KFold:
+    """Deterministic k-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X: np.ndarray) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        indices = np.arange(n)
+        if self.shuffle:
+            np.random.default_rng(self.random_state).shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n // self.n_splits)
+        fold_sizes[: n % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield train, test
+            start += size
+
+
+class StratifiedKFold:
+    """k-fold splitter preserving class proportions in every fold."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = False, random_state: int = 0):
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        rng = np.random.default_rng(self.random_state)
+        fold_of = np.empty(len(y), dtype=int)
+        for c in np.unique(y):
+            members = np.flatnonzero(y == c)
+            if self.shuffle:
+                rng.shuffle(members)
+            for i, index in enumerate(members):
+                fold_of[index] = i % self.n_splits
+        for fold in range(self.n_splits):
+            test = np.flatnonzero(fold_of == fold)
+            train = np.flatnonzero(fold_of != fold)
+            if len(test) == 0:
+                raise ValueError("a fold received no samples; reduce n_splits")
+            yield train, test
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    cv: int = 5,
+    scoring: Callable[[np.ndarray, np.ndarray], float] | None = None,
+) -> np.ndarray:
+    """Per-fold scores of a freshly cloned estimator."""
+    X, y = check_Xy(X, y)
+    scores = []
+    for train, test in KFold(n_splits=cv).split(X):
+        model = clone(estimator)
+        model.fit(X[train], y[train])
+        if scoring is None:
+            scores.append(model.score(X[test], y[test]))
+        else:
+            scores.append(scoring(y[test], model.predict(X[test])))
+    return np.asarray(scores)
+
+
+class _BaseSearchCV(BaseEstimator):
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        cv: int = 3,
+        scoring: Callable[[np.ndarray, np.ndarray], float] | None = None,
+    ):
+        self.estimator = estimator
+        self.cv = cv
+        self.scoring = scoring
+
+    def _candidates(self) -> list[dict[str, Any]]:
+        raise NotImplementedError
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_BaseSearchCV":
+        X, y = check_Xy(X, y)
+        self.results_: list[dict[str, Any]] = []
+        best_score = -np.inf
+        best_params: dict[str, Any] | None = None
+        for params in self._candidates():
+            candidate = clone(self.estimator).set_params(**params)
+            scores = cross_val_score(candidate, X, y, cv=self.cv, scoring=self.scoring)
+            mean_score = float(scores.mean())
+            self.results_.append({"params": params, "mean_score": mean_score})
+            if mean_score > best_score:
+                best_score = mean_score
+                best_params = params
+        assert best_params is not None, "no candidates evaluated"
+        self.best_params_ = best_params
+        self.best_score_ = best_score
+        self.best_estimator_ = clone(self.estimator).set_params(**best_params)
+        self.best_estimator_.fit(X, y)
+        self._mark_fitted()
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return self.best_estimator_.predict(X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        self._check_fitted()
+        return self.best_estimator_.score(X, y)
+
+
+class GridSearchCV(_BaseSearchCV):
+    """Exhaustive search over a parameter grid with cross-validation."""
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid: Mapping[str, Sequence[Any]],
+        cv: int = 3,
+        scoring: Callable[[np.ndarray, np.ndarray], float] | None = None,
+    ):
+        super().__init__(estimator, cv=cv, scoring=scoring)
+        self.param_grid = dict(param_grid)
+
+    def _candidates(self) -> list[dict[str, Any]]:
+        names = sorted(self.param_grid)
+        return [
+            dict(zip(names, values))
+            for values in itertools.product(*(self.param_grid[n] for n in names))
+        ]
+
+
+class RandomizedSearchCV(_BaseSearchCV):
+    """Random sample of a parameter grid with cross-validation."""
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_distributions: Mapping[str, Sequence[Any]],
+        n_iter: int = 10,
+        cv: int = 3,
+        scoring: Callable[[np.ndarray, np.ndarray], float] | None = None,
+        random_state: int = 0,
+    ):
+        super().__init__(estimator, cv=cv, scoring=scoring)
+        self.param_distributions = dict(param_distributions)
+        self.n_iter = n_iter
+        self.random_state = random_state
+
+    def _candidates(self) -> list[dict[str, Any]]:
+        rng = np.random.default_rng(self.random_state)
+        names = sorted(self.param_distributions)
+        candidates = []
+        for _ in range(self.n_iter):
+            chosen = {}
+            for name in names:
+                options = self.param_distributions[name]
+                chosen[name] = options[int(rng.integers(0, len(options)))]
+            candidates.append(chosen)
+        return candidates

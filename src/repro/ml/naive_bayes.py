@@ -1,0 +1,50 @@
+"""Gaussian naive Bayes — a cheap, deterministic classifier for pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin, check_Xy
+
+__all__ = ["GaussianNB"]
+
+
+class GaussianNB(BaseEstimator, ClassifierMixin):
+    """Per-class Gaussian likelihoods with variance smoothing."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNB":
+        X, y = check_Xy(X, y)
+        self.classes_ = np.unique(y)
+        self.theta_ = np.vstack([X[y == c].mean(axis=0) for c in self.classes_])
+        variances = np.vstack([X[y == c].var(axis=0) for c in self.classes_])
+        self.var_ = variances + self.var_smoothing * X.var(axis=0).max()
+        self.var_[self.var_ == 0.0] = self.var_smoothing
+        self.class_prior_ = np.asarray([(y == c).mean() for c in self.classes_])
+        self._mark_fitted()
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        X, _ = check_Xy(X)
+        scores = np.empty((len(X), len(self.classes_)))
+        for i in range(len(self.classes_)):
+            log_likelihood = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_[i])
+                + (X - self.theta_[i]) ** 2 / self.var_[i],
+                axis=1,
+            )
+            scores[:, i] = np.log(self.class_prior_[i]) + log_likelihood
+        return scores
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return self.classes_[np.argmax(self._joint_log_likelihood(X), axis=1)]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        joint = self._joint_log_likelihood(X)
+        joint -= joint.max(axis=1, keepdims=True)
+        likelihood = np.exp(joint)
+        return likelihood / likelihood.sum(axis=1, keepdims=True)

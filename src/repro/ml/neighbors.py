@@ -1,0 +1,47 @@
+"""k-nearest-neighbor classification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin, check_Xy
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
+    """Brute-force k-NN with Euclidean distance and majority vote."""
+
+    def __init__(self, n_neighbors: int = 5):
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be positive")
+        self.n_neighbors = n_neighbors
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y = check_Xy(X, y)
+        self.classes_, self._y_index = np.unique(y, return_inverse=True)
+        self._X = X
+        self._mark_fitted()
+        return self
+
+    def _neighbor_indices(self, X: np.ndarray) -> np.ndarray:
+        distances = (
+            (X**2).sum(axis=1, keepdims=True)
+            - 2.0 * X @ self._X.T
+            + (self._X**2).sum(axis=1)
+        )
+        k = min(self.n_neighbors, len(self._X))
+        return np.argsort(distances, axis=1, kind="stable")[:, :k]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_Xy(X)
+        neighbors = self._neighbor_indices(X)
+        votes = self._y_index[neighbors]
+        proba = np.zeros((len(X), len(self.classes_)))
+        for c in range(len(self.classes_)):
+            proba[:, c] = (votes == c).mean(axis=1)
+        return proba
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.classes_[np.argmax(self.predict_proba(X), axis=1)]

@@ -1,0 +1,177 @@
+"""Estimator composition: Pipeline and FeatureUnion.
+
+Mirrors scikit-learn's composition API.  A ``Pipeline`` chains transformers
+and ends in an estimator (or transformer); a ``FeatureUnion`` concatenates
+the outputs of several transformers.  Both are themselves estimators, so
+they can be hyperparameter-searched and used as workload training
+operations like any other model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from .base import BaseEstimator, TransformerMixin, clone
+
+__all__ = ["Pipeline", "FeatureUnion", "make_pipeline"]
+
+
+class Pipeline(BaseEstimator, TransformerMixin):
+    """Chain of (name, estimator) steps; all but the last must transform."""
+
+    def __init__(self, steps: Sequence[tuple[str, BaseEstimator]]):
+        if not steps:
+            raise ValueError("pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate step names in {names}")
+        self.steps = list(steps)
+
+    # -- parameter plumbing (supports nested step__param access) --------
+    def get_params(self) -> dict[str, Any]:
+        params: dict[str, Any] = {"steps": self.steps}
+        for name, estimator in self.steps:
+            for key, value in estimator.get_params().items():
+                params[f"{name}__{key}"] = value
+        return params
+
+    def set_params(self, **params: Any) -> "Pipeline":
+        by_step: dict[str, dict[str, Any]] = {}
+        for key, value in params.items():
+            if key == "steps":
+                self.steps = list(value)
+                continue
+            step, _, param = key.partition("__")
+            if not param:
+                raise ValueError(f"invalid pipeline parameter {key!r}")
+            by_step.setdefault(step, {})[param] = value
+        lookup = dict(self.steps)
+        for step, step_params in by_step.items():
+            if step not in lookup:
+                raise ValueError(f"pipeline has no step {step!r}")
+            lookup[step].set_params(**step_params)
+        return self
+
+    def named_step(self, name: str) -> BaseEstimator:
+        for step_name, estimator in self.steps:
+            if step_name == name:
+                return estimator
+        raise KeyError(f"no step named {name!r}")
+
+    @property
+    def _final(self) -> BaseEstimator:
+        return self.steps[-1][1]
+
+    # -- fitting ---------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "Pipeline":
+        self.steps = [(name, clone(estimator)) for name, estimator in self.steps]
+        transformed = X
+        for _name, transformer in self.steps[:-1]:
+            if not hasattr(transformer, "transform"):
+                raise TypeError(
+                    f"intermediate step {_name!r} must be a transformer"
+                )
+            transformed = (
+                transformer.fit(transformed, y).transform(transformed)
+                if _accepts_y(transformer)
+                else transformer.fit(transformed).transform(transformed)
+            )
+        final = self._final
+        if y is not None and _accepts_y(final):
+            final.fit(transformed, y)
+        else:
+            final.fit(transformed)
+        self._mark_fitted()
+        return self
+
+    def _transform_through(self, X: np.ndarray) -> np.ndarray:
+        transformed = X
+        for _name, transformer in self.steps[:-1]:
+            transformed = transformer.transform(transformed)
+        return transformed
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return self._final.predict(self._transform_through(X))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return self._final.predict_proba(self._transform_through(X))
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        transformed = self._transform_through(X)
+        if hasattr(self._final, "transform"):
+            return self._final.transform(transformed)
+        return transformed
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        self._check_fitted()
+        return self._final.score(self._transform_through(X), y)
+
+
+class FeatureUnion(BaseEstimator, TransformerMixin):
+    """Concatenate the outputs of several transformers column-wise."""
+
+    def __init__(self, transformer_list: Sequence[tuple[str, BaseEstimator]]):
+        if not transformer_list:
+            raise ValueError("feature union needs at least one transformer")
+        self.transformer_list = list(transformer_list)
+
+    def get_params(self) -> dict[str, Any]:
+        params: dict[str, Any] = {"transformer_list": self.transformer_list}
+        for name, transformer in self.transformer_list:
+            for key, value in transformer.get_params().items():
+                params[f"{name}__{key}"] = value
+        return params
+
+    def set_params(self, **params: Any) -> "FeatureUnion":
+        lookup = dict(self.transformer_list)
+        for key, value in params.items():
+            if key == "transformer_list":
+                self.transformer_list = list(value)
+                continue
+            name, _, param = key.partition("__")
+            if not param or name not in lookup:
+                raise ValueError(f"invalid union parameter {key!r}")
+            lookup[name].set_params(**{param: value})
+        return self
+
+    def fit(self, X: np.ndarray, y: np.ndarray | None = None) -> "FeatureUnion":
+        self.transformer_list = [
+            (name, clone(transformer)) for name, transformer in self.transformer_list
+        ]
+        for _name, transformer in self.transformer_list:
+            if y is not None and _accepts_y(transformer):
+                transformer.fit(X, y)
+            else:
+                transformer.fit(X)
+        self._mark_fitted()
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        blocks = [t.transform(X) for _name, t in self.transformer_list]
+        return np.hstack(blocks)
+
+
+def make_pipeline(*estimators: BaseEstimator) -> Pipeline:
+    """Build a pipeline with auto-generated step names."""
+    steps = [
+        (f"{type(estimator).__name__.lower()}_{index}", estimator)
+        for index, estimator in enumerate(estimators)
+    ]
+    return Pipeline(steps)
+
+
+def _accepts_y(estimator: BaseEstimator) -> bool:
+    """Whether ``fit`` takes a label argument (duck-typed via signature)."""
+    import inspect
+
+    try:
+        signature = inspect.signature(estimator.fit)
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return True
+    return "y" in signature.parameters

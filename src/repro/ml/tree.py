@@ -1,0 +1,269 @@
+"""CART decision trees (classification and regression).
+
+Used directly and as the base learner for the ensembles in
+:mod:`repro.ml.ensemble`.  Splits are exact: every feature is sorted once
+per node and candidate thresholds are scanned with cumulative statistics,
+so the fit is O(n log n · d) per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import BaseEstimator, ClassifierMixin, check_Xy
+
+__all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature is None``."""
+
+    prediction: float
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    n_samples: int = 0
+    proba: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _best_split_gini(
+    X: np.ndarray, y: np.ndarray, feature_indices: np.ndarray, min_leaf: int
+) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, impurity decrease) under Gini impurity."""
+    n = len(y)
+    total_pos = float(y.sum())
+    parent_gini = 1.0 - (total_pos / n) ** 2 - ((n - total_pos) / n) ** 2
+    best: tuple[int, float, float] | None = None
+    best_gain = 1e-12
+    for feature in feature_indices:
+        order = np.argsort(X[:, feature], kind="mergesort")
+        xs = X[order, feature]
+        ys = y[order]
+        cumulative_pos = np.cumsum(ys)
+        left_counts = np.arange(1, n + 1, dtype=float)
+        # candidate boundaries: positions where the value changes
+        boundaries = np.flatnonzero(np.diff(xs) > 0)
+        if len(boundaries) == 0:
+            continue
+        valid = boundaries[
+            (left_counts[boundaries] >= min_leaf)
+            & (n - left_counts[boundaries] >= min_leaf)
+        ]
+        if len(valid) == 0:
+            continue
+        nl = left_counts[valid]
+        nr = n - nl
+        pos_l = cumulative_pos[valid]
+        pos_r = total_pos - pos_l
+        gini_l = 1.0 - (pos_l / nl) ** 2 - ((nl - pos_l) / nl) ** 2
+        gini_r = 1.0 - (pos_r / nr) ** 2 - ((nr - pos_r) / nr) ** 2
+        weighted = (nl * gini_l + nr * gini_r) / n
+        gains = parent_gini - weighted
+        local = int(np.argmax(gains))
+        if gains[local] > best_gain:
+            best_gain = float(gains[local])
+            boundary = valid[local]
+            threshold = (xs[boundary] + xs[boundary + 1]) / 2.0
+            best = (int(feature), float(threshold), best_gain)
+    return best
+
+
+def _best_split_mse(
+    X: np.ndarray, y: np.ndarray, feature_indices: np.ndarray, min_leaf: int
+) -> tuple[int, float, float] | None:
+    """Best (feature, threshold, variance decrease) under squared error."""
+    n = len(y)
+    total_sum = float(y.sum())
+    parent_sse = float(((y - y.mean()) ** 2).sum())
+    best: tuple[int, float, float] | None = None
+    best_gain = 1e-12
+    for feature in feature_indices:
+        order = np.argsort(X[:, feature], kind="mergesort")
+        xs = X[order, feature]
+        ys = y[order]
+        cumulative = np.cumsum(ys)
+        cumulative_sq = np.cumsum(ys**2)
+        left_counts = np.arange(1, n + 1, dtype=float)
+        boundaries = np.flatnonzero(np.diff(xs) > 0)
+        if len(boundaries) == 0:
+            continue
+        valid = boundaries[
+            (left_counts[boundaries] >= min_leaf)
+            & (n - left_counts[boundaries] >= min_leaf)
+        ]
+        if len(valid) == 0:
+            continue
+        nl = left_counts[valid]
+        nr = n - nl
+        sum_l = cumulative[valid]
+        sum_r = total_sum - sum_l
+        sq_l = cumulative_sq[valid]
+        sq_r = cumulative_sq[-1] - sq_l
+        sse = (sq_l - sum_l**2 / nl) + (sq_r - sum_r**2 / nr)
+        gains = parent_sse - sse
+        local = int(np.argmax(gains))
+        if gains[local] > best_gain:
+            best_gain = float(gains[local])
+            boundary = valid[local]
+            threshold = (xs[boundary] + xs[boundary + 1]) / 2.0
+            best = (int(feature), float(threshold), best_gain)
+    return best
+
+
+class _BaseTree(BaseEstimator):
+    def __init__(
+        self,
+        max_depth: int = 5,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        random_state: int = 0,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(n_features)))
+        if isinstance(self.max_features, float):
+            return max(1, int(self.max_features * n_features))
+        return min(int(self.max_features), n_features)
+
+    def _predict_row(self, node: _Node, row: np.ndarray) -> _Node:
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node
+
+    @property
+    def depth_(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._check_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    @property
+    def n_leaves_(self) -> int:
+        self._check_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.root_)
+
+
+class DecisionTreeClassifier(_BaseTree, ClassifierMixin):
+    """Binary CART classifier with Gini impurity."""
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, sample_indices: np.ndarray | None = None
+    ) -> "DecisionTreeClassifier":
+        X, y = check_Xy(X, y)
+        self.classes_ = np.unique(y)
+        if len(self.classes_) > 2:
+            raise ValueError("only binary classification is supported")
+        y01 = (y == self.classes_[-1]).astype(float)
+        if sample_indices is not None:
+            X, y01 = X[sample_indices], y01[sample_indices]
+        rng = np.random.default_rng(self.random_state)
+        self._k_features = self._resolve_max_features(X.shape[1])
+        self.root_ = self._grow(X, y01, depth=0, rng=rng)
+        self._mark_fitted()
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator) -> _Node:
+        p1 = float(y.mean())
+        node = _Node(
+            prediction=float(self.classes_[-1] if p1 >= 0.5 else self.classes_[0]),
+            n_samples=len(y),
+            proba=np.asarray([1.0 - p1, p1]),
+        )
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or p1 in (0.0, 1.0)
+        ):
+            return node
+        features = rng.choice(X.shape[1], size=self._k_features, replace=False)
+        split = _best_split_gini(X, y, features, self.min_samples_leaf)
+        if split is None:
+            return node
+        feature, threshold, _gain = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_Xy(X)
+        return np.asarray([self._predict_row(self.root_, row).prediction for row in X])
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_Xy(X)
+        return np.vstack([self._predict_row(self.root_, row).proba for row in X])
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regressor with squared-error splitting."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = check_Xy(X, y)
+        y = y.astype(float)
+        rng = np.random.default_rng(self.random_state)
+        self._k_features = self._resolve_max_features(X.shape[1])
+        self.root_ = self._grow(X, y, depth=0, rng=rng)
+        self._mark_fitted()
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int, rng: np.random.Generator) -> _Node:
+        node = _Node(prediction=float(y.mean()), n_samples=len(y))
+        if depth >= self.max_depth or len(y) < self.min_samples_split:
+            return node
+        if np.allclose(y, y[0]):
+            return node
+        features = rng.choice(X.shape[1], size=self._k_features, replace=False)
+        split = _best_split_mse(X, y, features, self.min_samples_leaf)
+        if split is None:
+            return node
+        feature, threshold, _gain = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        X, _ = check_Xy(X)
+        return np.asarray([self._predict_row(self.root_, row).prediction for row in X])
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        from .metrics import r2_score
+
+        return r2_score(np.asarray(y).ravel(), self.predict(X))

@@ -1,0 +1,19 @@
+"""Reuse algorithms and warmstarting (paper Section 6)."""
+
+from .baselines import AllMaterializedReuse, NoReuse
+from .helix import HelixReuse
+from .linear import LinearReuse
+from .maxflow import FlowNetwork
+from .plan import ReusePlan
+from .warmstart import WarmstartAssignment, find_warmstart_assignments
+
+__all__ = [
+    "ReusePlan",
+    "LinearReuse",
+    "HelixReuse",
+    "AllMaterializedReuse",
+    "NoReuse",
+    "FlowNetwork",
+    "WarmstartAssignment",
+    "find_warmstart_assignments",
+]

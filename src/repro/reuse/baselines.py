@@ -1,0 +1,69 @@
+"""Trivial reuse baselines (paper Section 7.4).
+
+``ALL_M`` loads *every* materialized artifact that appears in the workload,
+even when recomputing would be cheaper.  ``ALL_C`` never loads anything
+(pure recomputation).  Both still honor the backward-pass notion of
+need-ness: only vertices on the path to a terminal matter.
+"""
+
+from __future__ import annotations
+
+from ..eg.graph import ExperimentGraph
+from ..eg.storage import LoadCostModel
+from ..graph.dag import WorkloadDAG
+from .plan import ReusePlan
+
+__all__ = ["AllMaterializedReuse", "NoReuse"]
+
+
+class AllMaterializedReuse:
+    """Load every materialized vertex on the execution frontier ("ALL_M")."""
+
+    name = "ALL_M"
+
+    def __init__(self, load_cost_model: LoadCostModel | None = None):
+        self.load_cost_model = (
+            load_cost_model if load_cost_model is not None else LoadCostModel.in_memory()
+        )
+
+    def plan(self, workload: WorkloadDAG, eg: ExperimentGraph) -> ReusePlan:
+        loads: set[str] = set()
+        recreation: dict[str, float] = {}
+        visited: set[str] = set()
+        stack = list(workload.terminals)
+        while stack:
+            vertex_id = stack.pop()
+            if vertex_id in visited:
+                continue
+            visited.add(vertex_id)
+            vertex = workload.vertex(vertex_id)
+            if vertex.computed or vertex.is_source:
+                continue
+            if not vertex.is_supernode and eg.is_materialized(vertex_id):
+                loads.add(vertex_id)
+                recreation[vertex_id] = self.load_cost_model.cost(
+                    eg.vertex(vertex_id).size
+                )
+                continue  # loading cuts off everything above
+            stack.extend(workload.parents(vertex_id))
+        total = sum(recreation.values())
+        return ReusePlan(
+            loads=loads,
+            recreation_costs=recreation,
+            estimated_cost=total,
+            algorithm=self.name,
+        )
+
+
+class NoReuse:
+    """Compute everything from the sources ("ALL_C")."""
+
+    name = "ALL_C"
+
+    def __init__(self, load_cost_model: LoadCostModel | None = None):
+        del load_cost_model
+
+    def plan(self, workload: WorkloadDAG, eg: ExperimentGraph) -> ReusePlan:
+        del eg
+        del workload
+        return ReusePlan(loads=set(), algorithm=self.name)

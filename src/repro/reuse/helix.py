@@ -1,0 +1,117 @@
+"""Helix reuse baseline — project-selection via min-cut (paper Section 7.1).
+
+Helix (Xin et al., VLDB 2018) finds the optimal load/compute plan by
+reducing the workload DAG to an instance of the *project selection problem*
+and solving it with max-flow.  We use the following cut formulation, which
+minimizes exactly the objective of the linear-time algorithm (so the two
+produce plans of equal cost — the paper verifies this, Section 7.4):
+
+* For each vertex ``v`` create two flow nodes: ``n_v`` ("v is computed"
+  when on the source side of the cut) and ``a_v`` ("v is needed").
+* ``n_v → t`` with capacity ``C_i(v)`` — computing ``v`` costs its compute
+  time.
+* ``a_v → n_v`` with capacity ``C_l(v)`` (∞ when unmaterialized) — a needed
+  vertex that is not computed must be loaded.
+* ``n_c → a_p`` with capacity ∞ for every DAG edge ``p → c`` — computing a
+  child makes each parent needed.
+* ``s → a_τ`` with capacity ∞ for every terminal ``τ`` — outputs are
+  always needed.
+
+The min cut then pays, for every needed vertex, the cheaper of computing it
+(cutting ``n_v → t``) or loading it (cutting ``a_v → n_v``); max-flow is
+solved with our from-scratch Edmonds–Karp, giving the O(|V|·|E|²) overhead
+profile that Figure 9(d) measures.
+"""
+
+from __future__ import annotations
+
+from ..eg.graph import ExperimentGraph
+from ..eg.storage import LoadCostModel
+from ..graph.dag import WorkloadDAG
+from .plan import ReusePlan
+
+__all__ = ["HelixReuse"]
+
+_SOURCE = ("s",)
+_SINK = ("t",)
+
+
+class HelixReuse:
+    """Optimal reuse planning through PSP/min-cut (the "HL" reuse baseline)."""
+
+    name = "HL"
+
+    def __init__(self, load_cost_model: LoadCostModel | None = None):
+        self.load_cost_model = (
+            load_cost_model if load_cost_model is not None else LoadCostModel.in_memory()
+        )
+
+    def plan(self, workload: WorkloadDAG, eg: ExperimentGraph) -> ReusePlan:
+        from .maxflow import FlowNetwork
+
+        compute_cost: dict[str, float] = {}
+        load_cost: dict[str, float] = {}
+        finite_total = 1.0
+        for vertex in workload.vertices():
+            vertex_id = vertex.vertex_id
+            if vertex.is_source or vertex.computed or vertex.is_supernode:
+                ci, cl = 0.0, None
+            elif vertex_id in eg:
+                record = eg.vertex(vertex_id)
+                ci = record.compute_time
+                cl = (
+                    self.load_cost_model.cost(record.size)
+                    if record.materialized
+                    else None
+                )
+            else:
+                ci, cl = None, None  # unknown: must compute, cost unknowable
+            compute_cost[vertex_id] = ci if ci is not None else -1.0
+            load_cost[vertex_id] = cl if cl is not None else -1.0
+            finite_total += max(ci or 0.0, 0.0) + max(cl or 0.0, 0.0)
+
+        big = 4.0 * finite_total
+        network = FlowNetwork()
+        for vertex in workload.vertices():
+            vertex_id = vertex.vertex_id
+            n_v = ("n", vertex_id)
+            a_v = ("a", vertex_id)
+            ci = compute_cost[vertex_id]
+            cl = load_cost[vertex_id]
+            # unknown compute cost: vertex must be computed -> make loading
+            # impossible and computing effectively free relative to big
+            network.add_edge(n_v, _SINK, ci if ci >= 0.0 else 0.0)
+            network.add_edge(a_v, n_v, cl if cl >= 0.0 else big)
+            for parent in workload.parents(vertex_id):
+                network.add_edge(n_v, ("a", parent), big)
+        for terminal in workload.terminals:
+            network.add_edge(_SOURCE, ("a", terminal), big)
+
+        network.max_flow(_SOURCE, _SINK)
+        source_side = network.min_cut_source_side(_SOURCE)
+
+        loads: set[str] = set()
+        recreation: dict[str, float] = {}
+        for vertex in workload.vertices():
+            vertex_id = vertex.vertex_id
+            needed = ("a", vertex_id) in source_side
+            computed = ("n", vertex_id) in source_side
+            if needed and not computed:
+                vertex_obj = workload.vertex(vertex_id)
+                if (
+                    not vertex_obj.computed
+                    and not vertex_obj.is_source
+                    and eg.is_materialized(vertex_id)
+                ):
+                    loads.add(vertex_id)
+                    recreation[vertex_id] = load_cost[vertex_id]
+            elif computed:
+                recreation[vertex_id] = compute_cost[vertex_id]
+
+        plan = ReusePlan(
+            loads=loads,
+            recreation_costs=recreation,
+            algorithm=self.name,
+        )
+        plan.estimated_cost = plan.plan_cost(workload, eg, self.load_cost_model)
+        return plan

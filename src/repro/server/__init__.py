@@ -1,0 +1,6 @@
+"""Server components: optimizer and the collaborative service (Section 3.2)."""
+
+from .optimizer import OptimizationResult, Optimizer
+from .service import CollaborativeOptimizer
+
+__all__ = ["Optimizer", "OptimizationResult", "CollaborativeOptimizer"]

@@ -1,0 +1,59 @@
+"""Server-side optimizer (paper Section 3.2, Step 3).
+
+Receives a (locally pruned) workload DAG, queries the Experiment Graph for
+materialized artifacts, runs the configured reuse algorithm to produce the
+optimal execution plan, and — when warmstarting is enabled — matches the
+remaining training operations to stored initializer models.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..eg.graph import ExperimentGraph
+from ..graph.dag import WorkloadDAG
+from ..reuse.plan import ReusePlan
+from ..reuse.warmstart import WarmstartAssignment, find_warmstart_assignments
+
+__all__ = ["Optimizer", "OptimizationResult"]
+
+
+@dataclass
+class OptimizationResult:
+    """Plan plus warmstart assignments and planning overhead."""
+
+    plan: ReusePlan
+    warmstarts: list[WarmstartAssignment] = field(default_factory=list)
+    #: seconds spent inside the reuse algorithm (Figure 9d's overhead)
+    planning_seconds: float = 0.0
+
+
+class Optimizer:
+    """Generates optimized execution plans against the Experiment Graph."""
+
+    def __init__(
+        self,
+        eg: ExperimentGraph,
+        reuse_algorithm,
+        warmstarting: bool = False,
+        warmstart_policy: str = "best_quality",
+    ):
+        self.eg = eg
+        self.reuse_algorithm = reuse_algorithm
+        self.warmstarting = warmstarting
+        self.warmstart_policy = warmstart_policy
+
+    def optimize(self, workload: WorkloadDAG) -> OptimizationResult:
+        started = time.perf_counter()
+        plan = self.reuse_algorithm.plan(workload, self.eg)
+        planning_seconds = time.perf_counter() - started
+
+        warmstarts: list[WarmstartAssignment] = []
+        if self.warmstarting:
+            warmstarts = find_warmstart_assignments(
+                workload, self.eg, plan, policy=self.warmstart_policy
+            )
+        return OptimizationResult(
+            plan=plan, warmstarts=warmstarts, planning_seconds=planning_seconds
+        )

@@ -1,0 +1,141 @@
+"""The collaborative workload optimizer — end-to-end loop (paper Figure 2).
+
+:class:`CollaborativeOptimizer` wires the five steps together:
+
+1. the client parses a workload script into a DAG,
+2. the local pruner deactivates non-essential edges,
+3. the server's optimizer produces a reuse plan (+ warmstarts),
+4. the client executes the optimized DAG, and
+5. the updater merges the executed DAG into the Experiment Graph and runs
+   the materialization algorithm.
+
+``run_script`` performs all five steps for a workload script;
+``run_baseline`` executes the same script eagerly with no optimizer (the
+paper's "KG"/"OML" baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from ..client.api import Workspace
+from ..client.executor import (
+    ExecutionReport,
+    Executor,
+    VirtualCostModel,
+    WallClockCostModel,
+)
+from ..client.parser import parse_workload
+from ..eg.graph import ExperimentGraph
+from ..eg.storage import ArtifactStore, LoadCostModel
+from ..eg.updater import Updater, UpdateReport
+from ..graph.pruning import prune_workload
+from ..materialization.base import Materializer
+from ..reuse.linear import LinearReuse
+from .optimizer import Optimizer
+
+__all__ = ["CollaborativeOptimizer"]
+
+
+class CollaborativeOptimizer:
+    """Client/server loop around one shared Experiment Graph."""
+
+    def __init__(
+        self,
+        materializer: Materializer,
+        reuse_algorithm=None,
+        store: ArtifactStore | None = None,
+        load_cost_model: LoadCostModel | None = None,
+        warmstarting: bool = False,
+        warmstart_policy: str = "best_quality",
+        cost_model: WallClockCostModel | VirtualCostModel | None = None,
+    ):
+        self.load_cost_model = (
+            load_cost_model if load_cost_model is not None else LoadCostModel.in_memory()
+        )
+        self.eg = ExperimentGraph(store)
+        self.materializer = materializer
+        self.reuse_algorithm = (
+            reuse_algorithm
+            if reuse_algorithm is not None
+            else LinearReuse(self.load_cost_model)
+        )
+        self.optimizer = Optimizer(
+            self.eg, self.reuse_algorithm, warmstarting, warmstart_policy
+        )
+        self.updater = Updater(self.eg, materializer)
+        self.cost_model = cost_model if cost_model is not None else WallClockCostModel()
+        self.executor = Executor(
+            cost_model=self.cost_model, load_cost_model=self.load_cost_model
+        )
+        self.last_update_report: UpdateReport | None = None
+
+    # ------------------------------------------------------------------
+    def run_script(
+        self,
+        script: Callable[[Workspace, Mapping[str, Any]], None],
+        sources: Mapping[str, Any],
+    ) -> ExecutionReport:
+        """Steps 1-5 for one workload script; returns the execution report."""
+        workspace = parse_workload(script, sources, cost_model=self.cost_model)
+        return self.run_workspace(workspace)
+
+    def run_workspace(self, workspace: Workspace) -> ExecutionReport:
+        """Steps 2-5 for an already parsed workspace."""
+        workload = workspace.dag
+        prune_workload(workload)
+
+        result = self.optimizer.optimize(workload)
+        report = self.executor.execute(
+            workload, plan=result.plan, eg=self.eg, warmstarts=result.warmstarts
+        )
+        report.optimizer_overhead = result.planning_seconds
+        report.total_time += result.planning_seconds
+
+        self.last_update_report = self.updater.update(workload)
+        return report
+
+    # ------------------------------------------------------------------
+    def compute_node(self, workspace: Workspace, node) -> Any:
+        """Materialize one node's value mid-script (steps 2-5 for a prefix).
+
+        This is the paper's hook for conditional control flow (Section
+        4.1): the condition of an ``if``/loop must be computed before the
+        control flow begins.  The node is treated as a temporary terminal;
+        the optimized prefix executes (reusing the EG as usual), the EG is
+        updated, and the value is returned so the script can branch on it.
+        The workspace can keep growing afterwards — computed vertices are
+        served from client memory.
+        """
+        if workspace.eager:
+            return node.payload
+        workload = workspace.dag
+        previous_terminals = list(workload.terminals)
+        workload.mark_terminal(node.vertex_id)
+        try:
+            self.run_workspace(workspace)
+        finally:
+            workload.terminals.clear()
+            workload.terminals.extend(previous_terminals)
+        return workload.vertex(node.vertex_id).data
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def run_baseline(
+        script: Callable[[Workspace, Mapping[str, Any]], None],
+        sources: Mapping[str, Any],
+        cost_model: WallClockCostModel | VirtualCostModel | None = None,
+    ) -> ExecutionReport:
+        """Execute a script eagerly with no optimizer (the "KG" baseline)."""
+        workspace = parse_workload(script, sources, eager=True, cost_model=cost_model)
+        report = ExecutionReport(plan_algorithm="baseline")
+        report.compute_time = workspace.eager_time
+        report.executed_vertices = workspace.eager_ops
+        report.total_time = workspace.eager_time
+        return report
+
+    # ------------------------------------------------------------------
+    @property
+    def store_bytes(self) -> int:
+        """Physical bytes currently used by the artifact store."""
+        return self.eg.store.total_bytes

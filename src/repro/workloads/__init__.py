@@ -1,0 +1,29 @@
+"""Evaluation workloads: Kaggle scripts, OpenML pipelines, synthetic DAGs."""
+
+from .home_credit import HOME_CREDIT_TABLES, generate_home_credit
+from .kaggle import KAGGLE_WORKLOADS, workload_description
+from .openml import (
+    PipelineSpec,
+    generate_credit_g,
+    make_pipeline_script,
+    sample_pipeline_specs,
+)
+from .synthetic_dag import (
+    SyntheticDAGConfig,
+    build_matching_eg,
+    generate_synthetic_workload,
+)
+
+__all__ = [
+    "generate_home_credit",
+    "HOME_CREDIT_TABLES",
+    "KAGGLE_WORKLOADS",
+    "workload_description",
+    "generate_credit_g",
+    "PipelineSpec",
+    "sample_pipeline_specs",
+    "make_pipeline_script",
+    "SyntheticDAGConfig",
+    "generate_synthetic_workload",
+    "build_matching_eg",
+]

@@ -1,0 +1,75 @@
+"""Interactive (notebook) workloads: the DAG grows across cell invocations.
+
+Paper Section 3.1: in Jupyter-style sessions every cell invocation computes
+some vertices; later invocations mark those edges inactive and only the new
+suffix executes.
+"""
+
+import numpy as np
+
+from repro.client.api import Workspace
+from repro.client.executor import Executor
+from repro.dataframe import DataFrame
+from repro.graph.pruning import prune_workload
+from repro.ml import LogisticRegression
+
+
+def make_frame():
+    rng = np.random.default_rng(0)
+    return DataFrame(
+        {
+            "a": rng.normal(size=40),
+            "b": rng.normal(size=40),
+            "y": (rng.random(40) > 0.5).astype(np.int64),
+        }
+    )
+
+
+class TestInteractiveSession:
+    def test_cell_by_cell_execution(self):
+        ws = Workspace()
+        # cell 1: load + select
+        train = ws.source("train", make_frame())
+        X = train[["a", "b"]]
+        X.terminal()
+        prune_workload(ws.dag)
+        first = Executor().execute(ws.dag)
+        assert first.executed_vertices == 1
+
+        # cell 2: extend with a model; X is already computed
+        y = train["y"]
+        model = X.fit(LogisticRegression(max_iter=10), y=y)
+        ws.dag.terminals.clear()
+        model.terminal()
+        prune_workload(ws.dag)
+        second = Executor().execute(ws.dag)
+        # only y and the model execute; X is served from client memory
+        assert second.executed_vertices == 2
+        assert ws.dag.vertex(model.vertex_id).computed
+
+    def test_recomputation_not_triggered_for_computed_prefix(self):
+        ws = Workspace()
+        train = ws.source("train", make_frame())
+        X = train[["a", "b"]]
+        X.terminal()
+        prune_workload(ws.dag)
+        Executor().execute(ws.dag)
+        before = ws.dag.vertex(X.vertex_id).data
+
+        X2 = train[["a", "b"]]  # same cell re-evaluated
+        assert X2.vertex_id == X.vertex_id
+        prune_workload(ws.dag)
+        report = Executor().execute(ws.dag)
+        assert report.executed_vertices == 0
+        assert ws.dag.vertex(X.vertex_id).data is before
+
+    def test_pruner_marks_computed_edges_inactive(self):
+        ws = Workspace()
+        train = ws.source("train", make_frame())
+        X = train[["a"]]
+        X.terminal()
+        prune_workload(ws.dag)
+        Executor().execute(ws.dag)
+        pruned = prune_workload(ws.dag)
+        assert pruned >= 1
+        assert not ws.dag.edge_active(train.vertex_id, X.vertex_id)

@@ -1,0 +1,96 @@
+"""Tests for Column and the lineage-id derivation scheme."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe.column import (
+    Column,
+    combine_column_ids,
+    derive_column_id,
+    fresh_column_id,
+)
+
+
+class TestColumnBasics:
+    def test_length(self):
+        column = Column("a", np.asarray([1, 2, 3]))
+        assert len(column) == 3
+
+    def test_dtype(self):
+        column = Column("a", np.asarray([1.0, 2.0]))
+        assert column.dtype == np.float64
+
+    def test_rejects_2d_values(self):
+        with pytest.raises(ValueError, match="1-dimensional"):
+            Column("a", np.zeros((2, 2)))
+
+    def test_fresh_id_assigned(self):
+        column = Column("a", np.asarray([1]))
+        assert len(column.column_id) == 32
+
+    def test_explicit_id_preserved(self):
+        column = Column("a", np.asarray([1]), column_id="abc")
+        assert column.column_id == "abc"
+
+    def test_numeric_detection(self):
+        assert Column("a", np.asarray([1.5])).is_numeric
+        assert not Column("a", np.asarray(["x"], dtype=object)).is_numeric
+
+    def test_nbytes_numeric(self):
+        column = Column("a", np.zeros(10, dtype=np.float64))
+        assert column.nbytes == 80
+
+    def test_nbytes_object_counts_string_payload(self):
+        short = Column("a", np.asarray(["x"], dtype=object))
+        long = Column("a", np.asarray(["x" * 100], dtype=object))
+        assert long.nbytes > short.nbytes
+
+
+class TestLineageIds:
+    def test_fresh_ids_unique(self):
+        assert fresh_column_id() != fresh_column_id()
+
+    def test_derive_is_deterministic(self):
+        assert derive_column_id("op1", "col1") == derive_column_id("op1", "col1")
+
+    def test_derive_depends_on_operation(self):
+        assert derive_column_id("op1", "col1") != derive_column_id("op2", "col1")
+
+    def test_derive_depends_on_input(self):
+        assert derive_column_id("op1", "col1") != derive_column_id("op1", "col2")
+
+    def test_combine_is_order_insensitive(self):
+        assert combine_column_ids("op", ["a", "b"]) == combine_column_ids("op", ["b", "a"])
+
+    def test_combine_differs_from_single_derive(self):
+        assert combine_column_ids("op", ["a"]) != derive_column_id("op", "a")
+
+    def test_rename_preserves_id(self):
+        column = Column("a", np.asarray([1]))
+        assert column.rename("b").column_id == column.column_id
+        assert column.rename("b").name == "b"
+
+    def test_with_values_changes_id(self):
+        column = Column("a", np.asarray([1.0]))
+        transformed = column.with_values(np.asarray([2.0]), "op")
+        assert transformed.column_id != column.column_id
+        assert transformed.values[0] == 2.0
+
+    def test_take_changes_id_and_subsets(self):
+        column = Column("a", np.asarray([1.0, 2.0, 3.0]))
+        taken = column.take(np.asarray([0, 2]), "op")
+        assert list(taken.values) == [1.0, 3.0]
+        assert taken.column_id != column.column_id
+
+    def test_same_operation_chain_same_id(self):
+        base = Column("a", np.asarray([1.0, 2.0]), column_id="root")
+        via1 = base.with_values(np.asarray([2.0, 4.0]), "double")
+        via2 = base.with_values(np.asarray([2.0, 4.0]), "double")
+        assert via1.column_id == via2.column_id
+
+    def test_copy_preserves_identity_and_values(self):
+        column = Column("a", np.asarray([1.0, 2.0]))
+        duplicate = column.copy()
+        assert duplicate.column_id == column.column_id
+        duplicate.values[0] = 99.0
+        assert column.values[0] == 1.0

@@ -1,0 +1,91 @@
+"""CSV round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, read_csv, write_csv
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text("id,score,label\n1,0.5,yes\n2,,no\n3,1.5,\n")
+    return path
+
+
+class TestReadCsv:
+    def test_columns(self, csv_path):
+        frame = read_csv(csv_path)
+        assert frame.columns == ["id", "score", "label"]
+
+    def test_int_inference(self, csv_path):
+        frame = read_csv(csv_path)
+        assert frame.values("id").dtype == np.int64
+
+    def test_float_with_missing(self, csv_path):
+        frame = read_csv(csv_path)
+        values = frame.values("score")
+        assert values.dtype == np.float64
+        assert np.isnan(values[1])
+
+    def test_string_with_missing(self, csv_path):
+        frame = read_csv(csv_path)
+        values = frame.values("label")
+        assert values[0] == "yes"
+        assert values[2] is None
+
+    def test_usecols(self, csv_path):
+        frame = read_csv(csv_path, usecols=["id"])
+        assert frame.columns == ["id"]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        assert read_csv(path).num_columns == 0
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b\n")
+        frame = read_csv(path)
+        assert frame.columns == ["a", "b"]
+        assert frame.num_rows == 0
+
+    def test_all_missing_column_is_nan(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("a\n\n\n")
+        assert np.isnan(read_csv(path).values("a")).all()
+
+    def test_ragged_short_rows_padded(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        frame = read_csv(path)
+        assert frame.num_rows == 2
+        assert np.isnan(frame.values("b")[1])
+
+    def test_ragged_long_rows_truncated(self, tmp_path):
+        path = tmp_path / "long.csv"
+        path.write_text("a\n1,99\n2\n")
+        frame = read_csv(path)
+        assert list(frame.values("a")) == [1, 2]
+
+
+class TestRoundTrip:
+    def test_numeric_roundtrip(self, tmp_path):
+        frame = DataFrame({"x": [1.0, 2.5], "n": [3, 4]})
+        path = tmp_path / "out.csv"
+        write_csv(frame, path)
+        back = read_csv(path)
+        assert list(back.values("x")) == [1.0, 2.5]
+        assert list(back.values("n")) == [3, 4]
+
+    def test_nan_roundtrip(self, tmp_path):
+        frame = DataFrame({"x": [1.0, np.nan]})
+        path = tmp_path / "out.csv"
+        write_csv(frame, path)
+        assert np.isnan(read_csv(path).values("x")[1])
+
+    def test_string_roundtrip(self, tmp_path):
+        frame = DataFrame({"s": np.asarray(["a", "b"], dtype=object)})
+        path = tmp_path / "out.csv"
+        write_csv(frame, path)
+        assert list(read_csv(path).values("s")) == ["a", "b"]

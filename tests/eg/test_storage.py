@@ -1,0 +1,139 @@
+"""Tests for artifact stores and the load-cost model."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Column, DataFrame
+from repro.eg.storage import DedupArtifactStore, LoadCostModel, SimpleArtifactStore
+
+
+class TestLoadCostModel:
+    def test_linear_in_size(self):
+        model = LoadCostModel(bandwidth_bytes_per_s=100.0, latency_s=1.0)
+        assert model.cost(0) == 1.0
+        assert model.cost(200) == 3.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LoadCostModel.in_memory().cost(-1)
+
+    def test_presets_ordered(self):
+        size = 10_000_000
+        memory = LoadCostModel.in_memory().cost(size)
+        disk = LoadCostModel.on_disk().cost(size)
+        remote = LoadCostModel.remote().cost(size)
+        assert memory < disk < remote
+
+
+class TestSimpleStore:
+    def test_put_get_roundtrip(self):
+        store = SimpleArtifactStore()
+        store.put("v1", {"a": 1})
+        assert store.get("v1") == {"a": 1}
+
+    def test_put_returns_incremental_bytes(self):
+        store = SimpleArtifactStore()
+        added = store.put("v1", np.zeros(100))
+        assert added == 800
+        assert store.put("v1", np.zeros(100)) == 0  # idempotent
+
+    def test_remove_releases_bytes(self):
+        store = SimpleArtifactStore()
+        store.put("v1", np.zeros(100))
+        assert store.remove("v1") == 800
+        assert store.total_bytes == 0
+        assert store.remove("v1") == 0
+
+    def test_missing_get_raises(self):
+        with pytest.raises(KeyError, match="not materialized"):
+            SimpleArtifactStore().get("nope")
+
+    def test_contains_and_ids(self):
+        store = SimpleArtifactStore()
+        store.put("v1", 1)
+        assert "v1" in store
+        assert store.vertex_ids == {"v1"}
+
+    def test_incremental_size_dry_run(self):
+        store = SimpleArtifactStore()
+        store.put("v1", np.zeros(10))
+        planned = [("v1", np.zeros(10)), ("v2", np.zeros(10))]
+        assert store.incremental_size(planned) == 80
+        assert store.total_bytes == 80  # dry run did not commit
+
+
+def frame_with_ids(spec: dict[str, tuple[str, int]]) -> DataFrame:
+    """Build a frame from {name: (column_id, n_values)}."""
+    columns = [
+        Column(name, np.zeros(n), column_id) for name, (column_id, n) in spec.items()
+    ]
+    return DataFrame(columns)
+
+
+class TestDedupStore:
+    def test_shared_column_stored_once(self):
+        store = DedupArtifactStore()
+        a = frame_with_ids({"x": ("shared", 100), "y": ("only_a", 100)})
+        b = frame_with_ids({"x": ("shared", 100), "z": ("only_b", 100)})
+        added_a = store.put("a", a)
+        added_b = store.put("b", b)
+        assert added_a == 1600
+        assert added_b == 800  # 'shared' not charged again
+        assert store.total_bytes == 2400
+        assert store.logical_bytes == 3200
+
+    def test_get_reconstructs_frame(self):
+        store = DedupArtifactStore()
+        frame = frame_with_ids({"x": ("c1", 10), "y": ("c2", 10)})
+        store.put("v", frame)
+        assert store.get("v").columns == ["x", "y"]
+        assert store.get("v") == frame
+
+    def test_rename_reuses_column(self):
+        """The same lineage id under a different name is still deduplicated."""
+        store = DedupArtifactStore()
+        store.put("a", frame_with_ids({"x": ("c1", 100)}))
+        added = store.put("b", frame_with_ids({"renamed": ("c1", 100)}))
+        assert added == 0
+        assert store.get("b").columns == ["renamed"]
+
+    def test_refcounted_removal(self):
+        store = DedupArtifactStore()
+        store.put("a", frame_with_ids({"x": ("shared", 100)}))
+        store.put("b", frame_with_ids({"x": ("shared", 100)}))
+        assert store.remove("a") == 0  # still referenced by b
+        assert store.remove("b") == 800
+        assert store.total_bytes == 0
+
+    def test_non_frame_payloads(self):
+        store = DedupArtifactStore()
+        added = store.put("m", np.zeros(10))
+        assert added == 80
+        assert np.array_equal(store.get("m"), np.zeros(10))
+        assert store.remove("m") == 80
+
+    def test_incremental_size_counts_shared_once(self):
+        store = DedupArtifactStore()
+        store.put("a", frame_with_ids({"x": ("c1", 100)}))
+        planned = [
+            ("b", frame_with_ids({"x": ("c1", 100), "y": ("c2", 100)})),
+            ("c", frame_with_ids({"y": ("c2", 100), "z": ("c3", 100)})),
+        ]
+        # c1 already stored; c2 shared between planned frames counted once
+        assert store.incremental_size(planned) == 1600
+
+    def test_missing_get_raises(self):
+        with pytest.raises(KeyError):
+            DedupArtifactStore().get("nope")
+
+    def test_put_idempotent(self):
+        store = DedupArtifactStore()
+        frame = frame_with_ids({"x": ("c1", 10)})
+        store.put("v", frame)
+        assert store.put("v", frame) == 0
+
+    def test_vertex_ids_mixed(self):
+        store = DedupArtifactStore()
+        store.put("frame", frame_with_ids({"x": ("c1", 10)}))
+        store.put("model", object())
+        assert store.vertex_ids == {"frame", "model"}

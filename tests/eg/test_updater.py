@@ -1,0 +1,92 @@
+"""Tests for the Updater: source storage, union, reconciliation."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.eg.graph import ExperimentGraph
+from repro.eg.updater import Updater
+from repro.graph.dag import WorkloadDAG
+from repro.graph.operations import DataOperation
+from repro.materialization.simple import MaterializeAll, MaterializeNone
+
+
+class Step(DataOperation):
+    def __init__(self, tag):
+        super().__init__("step", params={"tag": tag})
+
+    def run(self, underlying_data):
+        return underlying_data
+
+
+def executed_workload(n_steps: int = 2) -> WorkloadDAG:
+    dag = WorkloadDAG()
+    current = dag.add_source("src", payload=DataFrame({"x": np.arange(5.0)}))
+    for index in range(n_steps):
+        current = dag.add_operation([current], Step(index))
+        dag.vertex(current).record_result(
+            DataFrame({"x": np.arange(5.0) + index}), compute_time=1.0
+        )
+    dag.mark_terminal(current)
+    return dag
+
+
+class TestUpdater:
+    def test_sources_always_stored(self):
+        eg = ExperimentGraph()
+        updater = Updater(eg, MaterializeNone())
+        report = updater.update(executed_workload())
+        assert report.new_sources == 1
+        source = next(v for v in eg.vertices() if v.is_source)
+        assert source.materialized
+
+    def test_sources_stored_once(self):
+        eg = ExperimentGraph()
+        updater = Updater(eg, MaterializeNone())
+        updater.update(executed_workload())
+        report = updater.update(executed_workload())
+        assert report.new_sources == 0
+
+    def test_materialize_all_stores_everything(self):
+        eg = ExperimentGraph()
+        updater = Updater(eg, MaterializeAll())
+        report = updater.update(executed_workload(3))
+        assert len(report.newly_materialized) == 3
+        assert eg.materialized_artifact_bytes() > 0
+
+    def test_materialize_none_stores_nothing_but_sources(self):
+        eg = ExperimentGraph()
+        updater = Updater(eg, MaterializeNone())
+        updater.update(executed_workload(3))
+        materialized = [eg.vertex(v) for v in eg.materialized_ids()]
+        assert all(v.is_source for v in materialized)
+
+    def test_meta_kept_for_unmaterialized(self):
+        """EG keeps meta-data of ALL artifacts even when content is dropped."""
+        eg = ExperimentGraph()
+        updater = Updater(eg, MaterializeNone())
+        updater.update(executed_workload(2))
+        for vertex in eg.artifact_vertices():
+            if not vertex.is_source:
+                assert vertex.meta is not None
+                assert not vertex.materialized
+
+    def test_eviction_on_strategy_change(self):
+        eg = ExperimentGraph()
+        Updater(eg, MaterializeAll()).update(executed_workload(2))
+        report = Updater(eg, MaterializeNone()).update(executed_workload(2))
+        assert len(report.evicted) == 2
+        assert eg.materialized_artifact_bytes() == 0
+
+    def test_store_bytes_reported(self):
+        eg = ExperimentGraph()
+        report = Updater(eg, MaterializeAll()).update(executed_workload())
+        assert report.store_bytes_after == eg.store.total_bytes > 0
+
+    def test_frequencies_after_repeat(self):
+        eg = ExperimentGraph()
+        updater = Updater(eg, MaterializeAll())
+        updater.update(executed_workload())
+        updater.update(executed_workload())
+        non_source = [v for v in eg.artifact_vertices() if not v.is_source]
+        assert all(v.frequency == 2 for v in non_source)

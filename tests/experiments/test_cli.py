@@ -1,0 +1,28 @@
+"""Smoke tests for the experiment CLI (tiny sizes)."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1", "--apps", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert out.count("\n") >= 9
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--apps", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "CO" in out and "KG" in out
+
+    def test_fig9d(self, capsys):
+        assert main(["fig9d", "--workloads", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9d" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

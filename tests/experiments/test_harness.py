@@ -1,0 +1,141 @@
+"""Small-scale runs of every figure/table harness (shape checks only)."""
+
+import pytest
+
+from repro.experiments import (
+    fig4_repeated_runs,
+    fig5_sequence,
+    fig6_fig7_materialization,
+    fig8a_model_benchmarking,
+    fig8b_alpha_sweep,
+    fig9_reuse_comparison,
+    fig9d_reuse_overhead,
+    fig10_warmstarting,
+    make_optimizer,
+    scaled_budget,
+    table1,
+    total_artifact_bytes,
+)
+from repro.workloads.openml import sample_pipeline_specs
+from repro.workloads.synthetic_dag import SyntheticDAGConfig
+
+
+@pytest.fixture(scope="module")
+def hc_total(tiny_home_credit):
+    return total_artifact_bytes(tiny_home_credit)
+
+
+class TestRunnerHelpers:
+    def test_scaled_budget_fractions(self):
+        assert scaled_budget(130.0, 1000) == pytest.approx(1000.0)
+        assert scaled_budget(65.0, 1000) == pytest.approx(500.0)
+
+    def test_scaled_budget_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scaled_budget(0.0, 1000)
+
+    def test_make_optimizer_strategies(self):
+        for strategy in ("SA", "HM", "HL", "ALL", "NONE"):
+            optimizer = make_optimizer(strategy, 1000)
+            assert optimizer.eg is not None
+
+    def test_make_optimizer_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_optimizer("XX", 1000)
+        with pytest.raises(ValueError):
+            make_optimizer("SA", 1000, reuse="XX")
+
+
+class TestTable1:
+    def test_rows_cover_all_workloads(self, tiny_home_credit):
+        rows = table1(tiny_home_credit)
+        assert [r.workload_id for r in rows] == list(range(1, 9))
+        assert all(r.n_artifacts > 0 for r in rows)
+        assert all(r.size_bytes > 0 for r in rows)
+
+    def test_w3_is_largest_of_first_three(self, tiny_home_credit):
+        rows = {r.workload_id: r for r in table1(tiny_home_credit)}
+        assert rows[3].size_bytes > rows[1].size_bytes
+        assert rows[3].size_bytes > rows[2].size_bytes
+
+
+class TestFig4And5:
+    def test_fig4_repeat_run_much_faster(self, tiny_home_credit, hc_total):
+        budget = scaled_budget(16, hc_total)
+        result = fig4_repeated_runs(tiny_home_credit, budget, workload_ids=(2,))
+        times = result.times[2]
+        assert times["CO"][1] < times["CO"][0] * 0.5
+        assert times["KG"][1] > times["CO"][1]
+
+    def test_fig5_structure(self, tiny_home_credit, hc_total):
+        budget = scaled_budget(16, hc_total)
+        result = fig5_sequence(tiny_home_credit, budget)
+        # time-shape (CO < KG) asserted at bench scale; at 60-row test
+        # scale only the structure is stable
+        assert set(result.cumulative) == {"CO", "HL", "KG"}
+        assert all(len(curve) == 8 for curve in result.cumulative.values())
+        for curve in result.cumulative.values():
+            assert all(a <= b for a, b in zip(curve, curve[1:]))
+
+
+class TestFig6And7:
+    def test_materialization_shapes(self, tiny_home_credit, hc_total):
+        result = fig6_fig7_materialization(
+            tiny_home_credit, hc_total, budgets_gb=(16.0,), strategies=("SA", "HM", "ALL")
+        )
+        sa_stored = result.stored_sizes["SA"][16.0][-1]
+        hm_stored = result.stored_sizes["HM"][16.0][-1]
+        all_stored = result.stored_sizes["ALL"][16.0][-1]
+        # dedup lets SA store at least as much logical volume as HM
+        assert sa_stored >= hm_stored
+        assert all_stored >= sa_stored
+        curve = result.speedup_curve("SA", 16.0)
+        assert len(curve) == 8
+        assert all(v > 0.0 for v in curve)  # time-shape asserted at bench scale
+
+
+class TestFig8:
+    def test_model_benchmarking_structure(self, tiny_credit_g):
+        specs = sample_pipeline_specs(6, seed=1)
+        result = fig8a_model_benchmarking(specs, tiny_credit_g, budget_bytes=10_000_000)
+        assert len(result.cumulative_co) == len(result.cumulative_oml) == 6
+        # the gold standard can only ever point at an already-seen workload
+        assert all(g <= i for i, g in enumerate(result.gold_indices))
+
+    def test_alpha_sweep_delta_nonnegative_at_end(self, tiny_credit_g):
+        specs = sample_pipeline_specs(6, seed=1)
+        result = fig8b_alpha_sweep(specs, tiny_credit_g, alphas=(0.0, 1.0))
+        deltas = result.delta_vs_alpha1(0.0)
+        assert len(deltas) == 6
+        assert result.delta_vs_alpha1(1.0) == [0.0] * 6
+
+
+class TestFig9:
+    def test_reuse_comparison_shapes(self, tiny_home_credit, hc_total):
+        budget = scaled_budget(16, hc_total)
+        result = fig9_reuse_comparison(
+            tiny_home_credit, budget, materializers=("SA",), reusers=("LN", "ALL_C")
+        )
+        ln = result.cumulative["SA"]["LN"]
+        all_c = result.cumulative["SA"]["ALL_C"]
+        assert len(ln) == len(all_c) == 8
+        assert all(a <= b for a, b in zip(ln, ln[1:]))  # cumulative is monotone
+        speedup = result.speedup_vs_all_c("SA", "LN")
+        assert all(v > 0.0 for v in speedup)
+
+    def test_overhead_linear_vs_polynomial(self):
+        config = SyntheticDAGConfig(min_nodes=60, max_nodes=120)
+        result = fig9d_reuse_overhead(n_workloads=5, config=config, seed=3)
+        assert result.plans_equal_cost
+        assert result.cumulative_hl[-1] > result.cumulative_ln[-1]
+        assert result.final_ratio > 1.0
+
+
+class TestFig10:
+    def test_warmstarting_runs(self, tiny_credit_g):
+        # sample enough specs that same-type model pairs appear
+        specs = sample_pipeline_specs(12, seed=0)
+        result = fig10_warmstarting(specs, tiny_credit_g, budget_bytes=10_000_000)
+        assert len(result.cumulative_co_with) == 12
+        assert len(result.cumulative_delta_accuracy) == 12
+        assert result.warmstarted_runs > 0  # same-type model pairs matched

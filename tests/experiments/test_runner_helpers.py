@@ -1,0 +1,68 @@
+"""Unit tests for the experiment runner helpers and result containers."""
+
+import pytest
+
+from repro.client.executor import ExecutionReport
+from repro.experiments.runner import (
+    PAPER_TOTAL_ARTIFACT_GB,
+    SequenceResult,
+    baseline_times,
+    make_optimizer,
+    run_sequence,
+    scaled_budget,
+)
+from repro.workloads.kaggle import KAGGLE_WORKLOADS
+
+
+class TestSequenceResult:
+    def _result(self, times):
+        result = SequenceResult()
+        for t in times:
+            report = ExecutionReport()
+            report.total_time = t
+            result.reports.append(report)
+        return result
+
+    def test_times(self):
+        assert self._result([1.0, 2.0]).times == [1.0, 2.0]
+
+    def test_cumulative(self):
+        assert self._result([1.0, 2.0, 3.0]).cumulative_times == [1.0, 3.0, 6.0]
+
+    def test_total(self):
+        assert self._result([1.5, 2.5]).total_time == 4.0
+
+    def test_empty(self):
+        empty = self._result([])
+        assert empty.times == []
+        assert empty.cumulative_times == []
+        assert empty.total_time == 0.0
+
+
+class TestPaperScaling:
+    def test_full_paper_budget_is_identity(self):
+        assert scaled_budget(PAPER_TOTAL_ARTIFACT_GB, 12345) == pytest.approx(12345)
+
+    def test_linear_in_gb(self):
+        assert scaled_budget(8.0, 1300) == pytest.approx(2 * scaled_budget(4.0, 1300))
+
+
+class TestRunSequenceIntegration:
+    def test_tracks_store_trajectory(self, tiny_home_credit):
+        optimizer = make_optimizer("SA", 10_000_000)
+        scripts = [KAGGLE_WORKLOADS[1], KAGGLE_WORKLOADS[4]]
+        sequence = run_sequence(optimizer, scripts, tiny_home_credit)
+        assert len(sequence.physical_bytes) == 2
+        assert len(sequence.logical_bytes) == 2
+        assert sequence.physical_bytes[1] >= sequence.physical_bytes[0] > 0
+
+    def test_baseline_times_positive(self, tiny_home_credit):
+        times = baseline_times([KAGGLE_WORKLOADS[1]], tiny_home_credit)
+        assert len(times) == 1
+        assert times[0] > 0.0
+
+    @pytest.mark.parametrize("strategy", ["SA", "HM", "HL", "ALL", "NONE"])
+    def test_every_strategy_completes_a_sequence(self, strategy, tiny_home_credit):
+        optimizer = make_optimizer(strategy, 5_000_000)
+        sequence = run_sequence(optimizer, [KAGGLE_WORKLOADS[1]], tiny_home_credit)
+        assert sequence.reports[0].terminal_values

@@ -1,0 +1,85 @@
+"""Tests for the collaborative-community simulation."""
+
+import pytest
+
+from repro.experiments.simulation import EventMix, simulate_community
+from repro.workloads.kaggle import KAGGLE_WORKLOADS
+
+PUBLISHED = [KAGGLE_WORKLOADS[1], KAGGLE_WORKLOADS[2]]
+DERIVED = {
+    0: [KAGGLE_WORKLOADS[4], KAGGLE_WORKLOADS[5]],
+    1: [KAGGLE_WORKLOADS[6]],
+}
+
+
+class TestEventMix:
+    def test_defaults_sum_to_one(self):
+        EventMix()
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            EventMix(repeat=0.9, modify=0.9, fresh=0.1)
+
+
+class TestSimulation:
+    def test_event_stream_length(self, tiny_home_credit):
+        result = simulate_community(
+            PUBLISHED, DERIVED, tiny_home_credit, n_events=8, seed=1
+        )
+        assert len(result.events) == 8
+        assert len(result.optimizer_times) == 8
+        assert len(result.baseline_times) == 8
+
+    def test_event_kinds_valid(self, tiny_home_credit):
+        result = simulate_community(
+            PUBLISHED, DERIVED, tiny_home_credit, n_events=12, seed=2
+        )
+        assert set(result.events) <= {"repeat", "modify", "fresh"}
+
+    def test_deterministic_given_seed(self, tiny_home_credit):
+        a = simulate_community(
+            PUBLISHED, DERIVED, tiny_home_credit, n_events=6, seed=3,
+            measure_baseline=False,
+        )
+        b = simulate_community(
+            PUBLISHED, DERIVED, tiny_home_credit, n_events=6, seed=3,
+            measure_baseline=False,
+        )
+        assert a.events == b.events
+
+    def test_artifacts_reused_across_events(self, tiny_home_credit):
+        result = simulate_community(
+            PUBLISHED,
+            DERIVED,
+            tiny_home_credit,
+            n_events=10,
+            mix=EventMix(repeat=1.0, modify=0.0, fresh=0.0),
+            seed=0,
+            measure_baseline=False,
+        )
+        # pure repeats: after the first executions everything is loaded
+        assert result.loaded_artifacts > 0
+        assert result.events == ["repeat"] * 10
+
+    def test_saving_fraction_bounds(self, tiny_home_credit):
+        result = simulate_community(
+            PUBLISHED, DERIVED, tiny_home_credit, n_events=10, seed=4
+        )
+        assert result.saving_fraction < 1.0
+        assert result.optimizer_total > 0.0
+        assert result.baseline_total > 0.0
+
+    def test_cumulative_lengths(self, tiny_home_credit):
+        result = simulate_community(
+            PUBLISHED, DERIVED, tiny_home_credit, n_events=5, seed=5
+        )
+        assert len(result.cumulative("optimizer")) == 5
+        assert len(result.cumulative("baseline")) == 5
+
+    def test_no_baseline_mode(self, tiny_home_credit):
+        result = simulate_community(
+            PUBLISHED, DERIVED, tiny_home_credit, n_events=5, seed=6,
+            measure_baseline=False,
+        )
+        assert result.baseline_times == []
+        assert result.saving_fraction == 0.0

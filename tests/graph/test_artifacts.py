@@ -1,0 +1,78 @@
+"""Tests for artifact meta-data derivation and sizing."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.graph.artifacts import (
+    ArtifactType,
+    artifact_meta,
+    payload_size_bytes,
+)
+from repro.ml import GradientBoostingClassifier, LogisticRegression
+
+
+class TestPayloadSize:
+    def test_none_is_zero(self):
+        assert payload_size_bytes(None) == 0
+
+    def test_frame_size(self):
+        frame = DataFrame({"x": np.zeros(100)})
+        assert payload_size_bytes(frame) == 800
+
+    def test_ndarray(self):
+        assert payload_size_bytes(np.zeros(10)) == 80
+
+    def test_fitted_model_larger_than_unfitted(self):
+        X = np.random.default_rng(0).normal(size=(50, 20))
+        y = (X[:, 0] > 0).astype(int)
+        unfitted = LogisticRegression(max_iter=5)
+        fitted = LogisticRegression(max_iter=5).fit(X, y)
+        assert payload_size_bytes(fitted) > payload_size_bytes(unfitted)
+
+    def test_boosted_ensemble_grows_with_trees(self):
+        X = np.random.default_rng(0).normal(size=(60, 3))
+        y = (X[:, 0] > 0).astype(int)
+        small = GradientBoostingClassifier(n_estimators=2).fit(X, y)
+        large = GradientBoostingClassifier(n_estimators=10).fit(X, y)
+        assert payload_size_bytes(large) > payload_size_bytes(small)
+
+    def test_containers(self):
+        assert payload_size_bytes([np.zeros(10), np.zeros(10)]) == 160
+        assert payload_size_bytes({"a": np.zeros(10)}) > 80
+
+
+class TestArtifactMeta:
+    def test_dataset_meta(self):
+        frame = DataFrame({"x": np.zeros(3), "s": np.asarray(["a", "b", "c"], dtype=object)})
+        meta = artifact_meta(frame)
+        assert meta.artifact_type is ArtifactType.DATASET
+        assert set(meta.schema) == {"x", "s"}
+        assert set(meta.column_ids) == {"x", "s"}
+
+    def test_model_meta(self):
+        model = LogisticRegression(C=3.0)
+        meta = artifact_meta(model)
+        assert meta.artifact_type is ArtifactType.MODEL
+        assert meta.model_type == "LogisticRegression"
+        assert meta.schema["C"] == 3.0
+        assert meta.warmstartable  # LogisticRegression supports warm start
+
+    def test_aggregate_meta(self):
+        meta = artifact_meta(0.75)
+        assert meta.artifact_type is ArtifactType.AGGREGATE
+
+    def test_with_quality(self):
+        meta = artifact_meta(LogisticRegression())
+        scored = meta.with_quality(0.9)
+        assert scored.quality == 0.9
+        assert meta.quality is None  # original untouched
+
+    def test_with_quality_bounds(self):
+        meta = artifact_meta(LogisticRegression())
+        with pytest.raises(ValueError):
+            meta.with_quality(1.5)
+
+    def test_with_quality_non_model_rejected(self):
+        with pytest.raises(ValueError):
+            artifact_meta(0.5).with_quality(0.5)

@@ -1,0 +1,150 @@
+"""Tests for the workload DAG: construction, supernodes, identity."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.graph.artifacts import ArtifactType
+from repro.graph.dag import WorkloadDAG, derived_vertex_id, source_vertex_id
+from repro.graph.operations import DataOperation
+
+
+class AddOne(DataOperation):
+    def __init__(self):
+        super().__init__("add_one")
+
+    def run(self, underlying_data):
+        return underlying_data + 1
+
+
+class Combine(DataOperation):
+    def __init__(self):
+        super().__init__("combine")
+
+    def run(self, underlying_data):
+        return sum(underlying_data)
+
+
+@pytest.fixture
+def dag():
+    return WorkloadDAG()
+
+
+class TestVertexIds:
+    def test_source_id_from_name(self):
+        assert source_vertex_id("train") == source_vertex_id("train")
+        assert source_vertex_id("train") != source_vertex_id("test")
+
+    def test_derived_id_deterministic(self):
+        assert derived_vertex_id(["a"], "h") == derived_vertex_id(["a"], "h")
+
+    def test_derived_id_depends_on_parent_order(self):
+        assert derived_vertex_id(["a", "b"], "h") != derived_vertex_id(["b", "a"], "h")
+
+
+class TestConstruction:
+    def test_add_source(self, dag):
+        vid = dag.add_source("train", payload=1)
+        assert vid in dag
+        vertex = dag.vertex(vid)
+        assert vertex.is_source
+        assert vertex.computed
+        assert vertex.data == 1
+
+    def test_add_source_idempotent(self, dag):
+        a = dag.add_source("train")
+        b = dag.add_source("train", payload=5)
+        assert a == b
+        assert dag.vertex(a).data == 5  # payload backfilled
+
+    def test_single_input_operation(self, dag):
+        src = dag.add_source("train", payload=1)
+        out = dag.add_operation([src], AddOne())
+        assert dag.parents(out) == [src]
+        assert dag.incoming_operation(out).name == "add_one"
+
+    def test_same_operation_same_vertex(self, dag):
+        src = dag.add_source("train")
+        a = dag.add_operation([src], AddOne())
+        b = dag.add_operation([src], AddOne())
+        assert a == b
+        assert dag.num_vertices == 2
+
+    def test_cross_dag_identity(self):
+        dag1, dag2 = WorkloadDAG(), WorkloadDAG()
+        out1 = dag1.add_operation([dag1.add_source("train")], AddOne())
+        out2 = dag2.add_operation([dag2.add_source("train")], AddOne())
+        assert out1 == out2
+
+    def test_multi_input_creates_supernode(self, dag):
+        a = dag.add_source("a")
+        b = dag.add_source("b")
+        out = dag.add_operation([a, b], Combine())
+        parents = dag.parents(out)
+        assert len(parents) == 1
+        assert dag.vertex(parents[0]).is_supernode
+        assert dag.operation_inputs(out) == [a, b]
+
+    def test_supernode_input_order_preserved(self, dag):
+        a = dag.add_source("a")
+        b = dag.add_source("b")
+        out = dag.add_operation([b, a], Combine())
+        assert dag.operation_inputs(out) == [b, a]
+
+    def test_unknown_input_rejected(self, dag):
+        with pytest.raises(KeyError):
+            dag.add_operation(["missing"], AddOne())
+
+    def test_empty_inputs_rejected(self, dag):
+        with pytest.raises(ValueError):
+            dag.add_operation([], AddOne())
+
+    def test_terminal_marking(self, dag):
+        src = dag.add_source("train")
+        dag.mark_terminal(src)
+        dag.mark_terminal(src)  # idempotent
+        assert dag.terminals == [src]
+
+    def test_terminal_unknown_vertex(self, dag):
+        with pytest.raises(KeyError):
+            dag.mark_terminal("nope")
+
+
+class TestTopologyAndStats:
+    def test_topological_order_respects_edges(self, dag):
+        src = dag.add_source("train")
+        mid = dag.add_operation([src], AddOne())
+        order = dag.topological_order()
+        assert order.index(src) < order.index(mid)
+
+    def test_artifact_count_excludes_supernodes(self, dag):
+        a = dag.add_source("a")
+        b = dag.add_source("b")
+        dag.add_operation([a, b], Combine())
+        assert dag.num_artifacts() == 3
+        assert dag.num_vertices == 4  # including the supernode
+
+    def test_total_artifact_size(self, dag):
+        src = dag.add_source("a", payload=DataFrame({"x": np.arange(10.0)}))
+        assert dag.total_artifact_size() == dag.vertex(src).size > 0
+
+    def test_record_result_sets_meta(self, dag):
+        src = dag.add_source("a")
+        out = dag.add_operation([src], AddOne())
+        dag.vertex(out).record_result(DataFrame({"x": [1.0]}), compute_time=0.5)
+        vertex = dag.vertex(out)
+        assert vertex.computed
+        assert vertex.compute_time == 0.5
+        assert vertex.meta.artifact_type is ArtifactType.DATASET
+
+    def test_validate_passes_for_wellformed(self, dag):
+        a = dag.add_source("a")
+        b = dag.add_source("b")
+        out = dag.add_operation([a, b], Combine())
+        dag.mark_terminal(out)
+        dag.validate()
+
+    def test_children(self, dag):
+        src = dag.add_source("a")
+        out = dag.add_operation([src], AddOne())
+        assert dag.children(src) == [out]

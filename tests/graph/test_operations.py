@@ -1,0 +1,107 @@
+"""Tests for operations and their identity hashes."""
+
+import pytest
+
+from repro.graph.artifacts import ArtifactType
+from repro.graph.operations import (
+    DataOperation,
+    FunctionOperation,
+    TrainOperation,
+    operation_hash,
+)
+
+
+class TestOperationHash:
+    def test_deterministic(self):
+        assert operation_hash("op", {"a": 1}) == operation_hash("op", {"a": 1})
+
+    def test_name_sensitivity(self):
+        assert operation_hash("op1") != operation_hash("op2")
+
+    def test_param_sensitivity(self):
+        assert operation_hash("op", {"a": 1}) != operation_hash("op", {"a": 2})
+
+    def test_param_order_insensitive(self):
+        assert operation_hash("op", {"a": 1, "b": 2}) == operation_hash(
+            "op", {"b": 2, "a": 1}
+        )
+
+    def test_nested_params(self):
+        h1 = operation_hash("op", {"grid": {"x": [1, 2]}})
+        h2 = operation_hash("op", {"grid": {"x": [1, 2]}})
+        h3 = operation_hash("op", {"grid": {"x": [2, 1]}})
+        assert h1 == h2
+        assert h1 != h3
+
+    def test_callable_params_hash_by_name(self):
+        def scorer_a():
+            pass
+
+        def scorer_b():
+            pass
+
+        assert operation_hash("op", {"f": scorer_a}) != operation_hash(
+            "op", {"f": scorer_b}
+        )
+
+    def test_no_params(self):
+        assert operation_hash("op") == operation_hash("op", None)
+        assert operation_hash("op") == operation_hash("op", {})
+
+
+class TestOperationClasses:
+    def test_data_operation_return_types(self):
+        assert DataOperation("x").return_type is ArtifactType.DATASET
+        agg = DataOperation("x", return_type=ArtifactType.AGGREGATE)
+        assert agg.return_type is ArtifactType.AGGREGATE
+
+    def test_data_operation_rejects_model(self):
+        with pytest.raises(ValueError):
+            DataOperation("x", return_type=ArtifactType.MODEL)
+
+    def test_train_operation_returns_model(self):
+        assert TrainOperation("fit").return_type is ArtifactType.MODEL
+
+    def test_train_operation_default_not_warmstartable(self):
+        assert not TrainOperation("fit").warmstartable
+
+    def test_train_operation_default_score_is_none(self):
+        assert TrainOperation("fit").score(None, None) is None
+
+    def test_run_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            DataOperation("x").run(None)
+
+    def test_warmstarted_falls_back_to_run(self):
+        class Op(TrainOperation):
+            def run(self, underlying_data):
+                return "cold"
+
+        assert Op("fit").run_warmstarted(None, initial_model="m") == "cold"
+
+
+class TestFunctionOperation:
+    def test_single_input(self):
+        op = FunctionOperation(lambda v: v + 1, name="inc")
+        assert op.run(41) == 42
+
+    def test_multi_input_unpacked(self):
+        op = FunctionOperation(lambda a, b: a + b, name="add")
+        assert op.run([20, 22]) == 42
+
+    def test_params_forwarded(self):
+        op = FunctionOperation(lambda v, k: v * k, name="scale", params={"k": 3})
+        assert op.run(5) == 15
+
+    def test_name_defaults_to_qualname(self):
+        def my_function(v):
+            return v
+
+        op = FunctionOperation(my_function)
+        assert "my_function" in op.name
+
+    def test_hash_stable_across_instances(self):
+        def f(v):
+            return v
+
+        assert FunctionOperation(f).op_hash == FunctionOperation(f).op_hash

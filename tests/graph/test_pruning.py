@@ -1,0 +1,76 @@
+"""Tests for the client-side local pruner."""
+
+import pytest
+
+from repro.graph.dag import WorkloadDAG
+from repro.graph.operations import DataOperation
+
+
+class Op(DataOperation):
+    def __init__(self, tag):
+        super().__init__("op", params={"tag": tag})
+
+    def run(self, underlying_data):
+        return underlying_data
+
+
+from repro.graph.pruning import prune_workload  # noqa: E402
+
+
+@pytest.fixture
+def diamond():
+    """source -> a -> terminal, plus a dead branch source -> b."""
+    dag = WorkloadDAG()
+    src = dag.add_source("s", payload=0)
+    a = dag.add_operation([src], Op("a"))
+    b = dag.add_operation([src], Op("b"))
+    dag.mark_terminal(a)
+    return dag, src, a, b
+
+
+class TestPruning:
+    def test_dead_branch_deactivated(self, diamond):
+        dag, src, a, b = diamond
+        pruned = prune_workload(dag)
+        assert pruned == 1
+        assert not dag.edge_active(src, b)
+        assert dag.edge_active(src, a)
+
+    def test_edges_not_removed(self, diamond):
+        dag, src, _a, b = diamond
+        prune_workload(dag)
+        assert dag.graph.has_edge(src, b)  # still present, just inactive
+
+    def test_computed_endpoint_deactivated(self, diamond):
+        dag, src, a, _b = diamond
+        dag.vertex(a).record_result(1, compute_time=0.0)
+        prune_workload(dag)
+        assert not dag.edge_active(src, a)
+
+    def test_requires_terminals(self):
+        dag = WorkloadDAG()
+        dag.add_source("s")
+        with pytest.raises(ValueError, match="terminal"):
+            prune_workload(dag)
+
+    def test_reactivation_after_invalidation(self, diamond):
+        dag, src, a, _b = diamond
+        dag.set_edge_active(src, a, False)
+        prune_workload(dag)
+        assert dag.edge_active(src, a)
+
+    def test_interactive_growth(self, diamond):
+        """Extending the DAG after pruning re-evaluates edge activity."""
+        dag, src, a, b = diamond
+        prune_workload(dag)
+        c = dag.add_operation([b], Op("c"))
+        dag.mark_terminal(c)
+        prune_workload(dag)
+        assert dag.edge_active(src, b)
+        assert dag.edge_active(b, c)
+
+    def test_multi_terminal_keeps_both_paths(self, diamond):
+        dag, src, a, b = diamond
+        dag.mark_terminal(b)
+        assert prune_workload(dag) == 0
+        assert dag.edge_active(src, a) and dag.edge_active(src, b)

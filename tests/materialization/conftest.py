@@ -1,0 +1,75 @@
+"""Builders for controlled Experiment Graphs in materialization tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Column, DataFrame
+from repro.eg.graph import ExperimentGraph
+from repro.graph.artifacts import ArtifactMeta, ArtifactType
+from repro.graph.dag import WorkloadDAG
+from repro.graph.operations import DataOperation
+
+
+class _Step(DataOperation):
+    def __init__(self, tag: str):
+        super().__init__("step", params={"tag": tag})
+
+    def run(self, underlying_data):
+        return underlying_data
+
+
+def frame_of(nbytes: int, column_ids: list[str] | None = None) -> DataFrame:
+    """A frame of roughly ``nbytes`` split over the given lineage ids."""
+    ids = column_ids or [None]
+    per_column = max(1, nbytes // (8 * len(ids)))
+    columns = []
+    for index, column_id in enumerate(ids):
+        columns.append(Column(f"c{index}", np.zeros(per_column), column_id))
+    return DataFrame(columns)
+
+
+class EGBuilder:
+    """Fluent builder: chains of artifacts with explicit costs and sizes."""
+
+    def __init__(self):
+        self.dag = WorkloadDAG()
+        self._source = self.dag.add_source("src", payload=frame_of(8))
+        self._last = self._source
+
+    def artifact(
+        self,
+        tag: str,
+        compute_time: float,
+        payload,
+        parent: str | None = None,
+        quality: float | None = None,
+    ) -> str:
+        parent = parent if parent is not None else self._last
+        vertex_id = self.dag.add_operation([parent], _Step(tag))
+        vertex = self.dag.vertex(vertex_id)
+        vertex.record_result(payload, compute_time=compute_time)
+        if quality is not None:
+            vertex.meta = ArtifactMeta(
+                artifact_type=ArtifactType.MODEL, quality=quality, model_type="Fake"
+            )
+            vertex.artifact_type = ArtifactType.MODEL
+        self._last = vertex_id
+        return vertex_id
+
+    def build(self) -> tuple[ExperimentGraph, WorkloadDAG, dict[str, object]]:
+        self.dag.mark_terminal(self._last)
+        eg = ExperimentGraph()
+        eg.union_workload(self.dag)
+        available = {
+            v.vertex_id: v.data
+            for v in self.dag.artifact_vertices()
+            if v.computed and not v.is_source
+        }
+        return eg, self.dag, available
+
+
+@pytest.fixture
+def builder():
+    return EGBuilder()

@@ -1,0 +1,185 @@
+"""Tests for HM, SA, Helix, ALL, and NONE materializers."""
+
+import pytest
+
+from repro.eg.storage import LoadCostModel
+from repro.graph.artifacts import payload_size_bytes
+from repro.materialization import (
+    HelixMaterializer,
+    HeuristicMaterializer,
+    MaterializeAll,
+    MaterializeNone,
+    StorageAwareMaterializer,
+)
+
+from .conftest import frame_of
+
+FAST_LOAD = LoadCostModel(bandwidth_bytes_per_s=1e12, latency_s=0.0)
+
+
+class TestHeuristicMaterializer:
+    def test_respects_budget(self, builder):
+        builder.artifact("a", 10.0, frame_of(800))
+        builder.artifact("b", 10.0, frame_of(800))
+        eg, _dag, available = builder.build()
+        hm = HeuristicMaterializer(budget_bytes=900, load_cost_model=FAST_LOAD)
+        selected = hm.select(eg, available)
+        total = sum(payload_size_bytes(available[v]) for v in selected)
+        assert total <= 900
+        assert len(selected) == 1
+
+    def test_unlimited_budget_takes_all_useful(self, builder):
+        builder.artifact("a", 10.0, frame_of(800))
+        builder.artifact("b", 10.0, frame_of(800))
+        eg, _dag, available = builder.build()
+        hm = HeuristicMaterializer(budget_bytes=None, load_cost_model=FAST_LOAD)
+        assert len(hm.select(eg, available)) == 2
+
+    def test_prefers_higher_utility(self, builder):
+        cheap = builder.artifact(
+            "cheap", 0.1, frame_of(800), parent=builder.dag.sources()[0]
+        )
+        expensive = builder.artifact(
+            "expensive", 50.0, frame_of(800), parent=builder.dag.sources()[0]
+        )
+        eg, _dag, available = builder.build()
+        hm = HeuristicMaterializer(budget_bytes=900, load_cost_model=FAST_LOAD)
+        selected = hm.select(eg, available)
+        assert selected == {expensive}
+
+    def test_skips_too_large_but_continues(self, builder):
+        big = builder.artifact(
+            "big", 100.0, frame_of(8000), parent=builder.dag.sources()[0]
+        )
+        small = builder.artifact(
+            "small", 50.0, frame_of(400), parent=builder.dag.sources()[0]
+        )
+        eg, _dag, available = builder.build()
+        hm = HeuristicMaterializer(budget_bytes=500, load_cost_model=FAST_LOAD)
+        assert hm.select(eg, available) == {small}
+
+    def test_max_artifacts_cap(self, builder):
+        builder.artifact("a", 10.0, frame_of(100))
+        builder.artifact("b", 10.0, frame_of(100))
+        eg, _dag, available = builder.build()
+        hm = HeuristicMaterializer(
+            budget_bytes=None, load_cost_model=FAST_LOAD, max_artifacts=1
+        )
+        assert len(hm.select(eg, available)) == 1
+
+    def test_alpha_one_single_slot_picks_best_model(self, builder):
+        """The Figure 8b setup: one slot, alpha=1 -> the gold model wins."""
+        features = builder.artifact("f", 10.0, frame_of(100))
+        weak = builder.artifact("weak", 1.0, frame_of(100), parent=features, quality=0.6)
+        gold = builder.artifact("gold", 1.0, frame_of(100), parent=features, quality=0.95)
+        eg, _dag, available = builder.build()
+        hm = HeuristicMaterializer(
+            budget_bytes=None, alpha=1.0, load_cost_model=FAST_LOAD, max_artifacts=1
+        )
+        assert hm.select(eg, available) == {gold}
+
+    def test_only_available_payloads_selected(self, builder):
+        vid = builder.artifact("a", 10.0, frame_of(100))
+        eg, _dag, _available = builder.build()
+        hm = HeuristicMaterializer(budget_bytes=None, load_cost_model=FAST_LOAD)
+        assert hm.select(eg, {}) == set()
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            HeuristicMaterializer(budget_bytes=-1)
+
+
+class TestStorageAware:
+    def test_overlapping_artifacts_exceed_logical_budget(self, builder):
+        """The Figure 6 effect: dedup lets SA store more than the budget.
+
+        Round 1 (budget 4000) fits a and b logically; compression charges
+        the shared columns once, freeing budget for c in round 2.  The
+        logical total then exceeds the physical budget.
+        """
+        a = builder.artifact("a", 10.0, frame_of(1600, ["x1", "x2"]))
+        b = builder.artifact("b", 10.0, frame_of(1600, ["x1", "x2"]), parent=a)
+        c = builder.artifact("c", 10.0, frame_of(1600, ["x1", "x3"]), parent=a)
+        eg, _dag, available = builder.build()
+        sa = StorageAwareMaterializer(budget_bytes=4000, load_cost_model=FAST_LOAD)
+        selected = sa.select(eg, available)
+        assert selected == {a, b, c}
+        logical = sum(payload_size_bytes(available[v]) for v in selected)
+        assert logical == 4800 > 4000
+
+    def test_physical_budget_respected(self, builder):
+        builder.artifact("a", 10.0, frame_of(3200, ["a1", "a2"]))
+        builder.artifact("b", 10.0, frame_of(3200, ["b1", "b2"]))
+        eg, _dag, available = builder.build()
+        sa = StorageAwareMaterializer(budget_bytes=3500, load_cost_model=FAST_LOAD)
+        selected = sa.select(eg, available)
+        assert len(selected) == 1  # no overlap -> second does not fit
+
+    def test_matches_hm_without_overlap(self, builder):
+        builder.artifact("a", 10.0, frame_of(800, ["x"]))
+        builder.artifact("b", 20.0, frame_of(800, ["y"]))
+        eg, _dag, available = builder.build()
+        sa = StorageAwareMaterializer(budget_bytes=None, load_cost_model=FAST_LOAD)
+        hm = HeuristicMaterializer(budget_bytes=None, load_cost_model=FAST_LOAD)
+        assert sa.select(eg, available) == hm.select(eg, available)
+
+    def test_zero_budget_selects_nothing(self, builder):
+        builder.artifact("a", 10.0, frame_of(800))
+        eg, _dag, available = builder.build()
+        sa = StorageAwareMaterializer(budget_bytes=0, load_cost_model=FAST_LOAD)
+        assert sa.select(eg, available) == set()
+
+
+class TestHelixMaterializer:
+    def test_cost_ratio_rule(self, builder):
+        slow_load = LoadCostModel(bandwidth_bytes_per_s=100.0, latency_s=0.0)
+        # recreation 10s vs load 8s: 10 < 2*8 -> not materialized
+        marginal = builder.artifact(
+            "marginal", 10.0, frame_of(800), parent=builder.dag.sources()[0]
+        )
+        # recreation 100s vs load 8s: 100 > 16 -> materialized
+        worthwhile = builder.artifact(
+            "worthwhile", 100.0, frame_of(800), parent=builder.dag.sources()[0]
+        )
+        eg, _dag, available = builder.build()
+        hl = HelixMaterializer(budget_bytes=None, load_cost_model=slow_load)
+        assert hl.select(eg, available) == {worthwhile}
+
+    def test_root_first_budget_exhaustion(self, builder):
+        """Helix stores early artifacts first, starving later high-value ones."""
+        early = builder.artifact("early", 50.0, frame_of(800))
+        late = builder.artifact("late", 500.0, frame_of(800))
+        eg, _dag, available = builder.build()
+        hl = HelixMaterializer(budget_bytes=900, load_cost_model=FAST_LOAD)
+        assert hl.select(eg, available) == {early}
+
+    def test_previously_materialized_kept_first(self, builder):
+        early = builder.artifact("early", 50.0, frame_of(800))
+        late = builder.artifact("late", 500.0, frame_of(800))
+        eg, _dag, available = builder.build()
+        eg.materialize(late, available[late])
+        hl = HelixMaterializer(budget_bytes=900, load_cost_model=FAST_LOAD)
+        assert hl.select(eg, available) == {late}
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            HelixMaterializer(budget_bytes=None, cost_ratio=0.0)
+
+
+class TestAllAndNone:
+    def test_all_selects_available(self, builder):
+        builder.artifact("a", 1.0, frame_of(100))
+        builder.artifact("b", 1.0, frame_of(100))
+        eg, _dag, available = builder.build()
+        assert MaterializeAll().select(eg, available) == set(available)
+
+    def test_all_keeps_existing(self, builder):
+        vid = builder.artifact("a", 1.0, frame_of(100))
+        eg, _dag, available = builder.build()
+        eg.materialize(vid, available[vid])
+        assert vid in MaterializeAll().select(eg, {})
+
+    def test_none_selects_nothing(self, builder):
+        builder.artifact("a", 1.0, frame_of(100))
+        eg, _dag, available = builder.build()
+        assert MaterializeNone().select(eg, available) == set()

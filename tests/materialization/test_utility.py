@@ -1,0 +1,79 @@
+"""Tests for the utility function (Equation 2 of the paper)."""
+
+import pytest
+
+from repro.eg.storage import LoadCostModel
+from repro.materialization.base import compute_utilities
+
+from .conftest import frame_of
+
+SLOW_LOAD = LoadCostModel(bandwidth_bytes_per_s=1.0, latency_s=100.0)
+FAST_LOAD = LoadCostModel(bandwidth_bytes_per_s=1e12, latency_s=0.0)
+
+
+class TestUtility:
+    def test_zero_when_load_exceeds_recreation(self, builder):
+        vid = builder.artifact("a", compute_time=0.001, payload=frame_of(1000))
+        eg, _dag, _avail = builder.build()
+        utilities = compute_utilities(eg, SLOW_LOAD, alpha=0.5)
+        assert utilities[vid].utility == 0.0
+
+    def test_positive_when_recreation_expensive(self, builder):
+        vid = builder.artifact("a", compute_time=50.0, payload=frame_of(1000))
+        eg, _dag, _avail = builder.build()
+        utilities = compute_utilities(eg, FAST_LOAD, alpha=0.5)
+        assert utilities[vid].utility > 0.0
+
+    def test_sources_excluded(self, builder):
+        builder.artifact("a", 1.0, frame_of(100))
+        eg, dag, _ = builder.build()
+        utilities = compute_utilities(eg, FAST_LOAD, alpha=0.5)
+        assert dag.sources()[0] not in utilities
+
+    def test_recreation_cost_accumulates_down_chain(self, builder):
+        a = builder.artifact("a", 2.0, frame_of(100))
+        b = builder.artifact("b", 3.0, frame_of(100))
+        eg, _dag, _ = builder.build()
+        utilities = compute_utilities(eg, FAST_LOAD, alpha=0.5)
+        assert utilities[a].recreation_cost == pytest.approx(2.0)
+        assert utilities[b].recreation_cost == pytest.approx(5.0)
+
+    def test_alpha_one_ranks_by_potential(self, builder):
+        cheap_model = builder.artifact("m1", 0.5, frame_of(100), quality=0.9)
+        expensive_data = builder.artifact(
+            "d", 100.0, frame_of(100), parent=builder.dag.sources()[0]
+        )
+        eg, _dag, _ = builder.build()
+        utilities = compute_utilities(eg, FAST_LOAD, alpha=1.0)
+        assert utilities[cheap_model].utility > utilities[expensive_data].utility
+
+    def test_alpha_zero_ranks_by_cost_size(self, builder):
+        model = builder.artifact("m1", 0.5, frame_of(100), quality=0.9)
+        heavy = builder.artifact(
+            "d", 100.0, frame_of(100), parent=builder.dag.sources()[0]
+        )
+        eg, _dag, _ = builder.build()
+        utilities = compute_utilities(eg, FAST_LOAD, alpha=0.0)
+        assert utilities[heavy].utility > utilities[model].utility
+
+    def test_frequency_raises_cost_size_ratio(self, builder):
+        vid = builder.artifact("a", 5.0, frame_of(100))
+        eg, dag, _ = builder.build()
+        before = compute_utilities(eg, FAST_LOAD, alpha=0.0)[vid].cost_size_ratio
+        eg.union_workload(dag)  # appears in a second workload
+        after = compute_utilities(eg, FAST_LOAD, alpha=0.0)[vid].cost_size_ratio
+        assert after == pytest.approx(2 * before)
+
+    def test_normalization_sums_to_one(self, builder):
+        builder.artifact("a", 5.0, frame_of(100))
+        builder.artifact("b", 7.0, frame_of(300))
+        eg, _dag, _ = builder.build()
+        utilities = compute_utilities(eg, FAST_LOAD, alpha=0.0)
+        total = sum(u.utility for u in utilities.values())
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_alpha(self, builder):
+        builder.artifact("a", 1.0, frame_of(100))
+        eg, _dag, _ = builder.build()
+        with pytest.raises(ValueError):
+            compute_utilities(eg, FAST_LOAD, alpha=1.5)

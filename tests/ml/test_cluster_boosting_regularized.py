@@ -1,0 +1,147 @@
+"""Tests for KMeans, AdaBoost, Ridge, and Lasso."""
+
+import numpy as np
+import pytest
+
+from repro.ml import AdaBoostClassifier, KMeans, Lasso, LinearRegression, Ridge
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(0)
+    centers = np.asarray([[-5.0, -5.0], [5.0, 5.0], [5.0, -5.0]])
+    X = np.vstack([c + rng.normal(scale=0.5, size=(40, 2)) for c in centers])
+    labels = np.repeat(np.arange(3), 40)
+    return X, labels
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, blobs):
+        X, truth = blobs
+        model = KMeans(n_clusters=3, random_state=1).fit(X)
+        # each true blob maps to exactly one cluster
+        for c in range(3):
+            assigned = model.labels_[truth == c]
+            assert len(np.unique(assigned)) == 1
+
+    def test_centers_near_truth(self, blobs):
+        X, _ = blobs
+        model = KMeans(n_clusters=3, random_state=1).fit(X)
+        found = {tuple(np.round(c)) for c in model.cluster_centers_}
+        assert found == {(-5.0, -5.0), (5.0, 5.0), (5.0, -5.0)}
+
+    def test_predict_matches_fit_labels(self, blobs):
+        X, _ = blobs
+        model = KMeans(n_clusters=3, random_state=1).fit(X)
+        assert np.array_equal(model.predict(X), model.labels_)
+
+    def test_transform_shape_and_nonneg(self, blobs):
+        X, _ = blobs
+        distances = KMeans(n_clusters=3, random_state=1).fit(X).transform(X)
+        assert distances.shape == (len(X), 3)
+        assert (distances >= 0).all()
+
+    def test_inertia_decreases_with_k(self, blobs):
+        X, _ = blobs
+        inertia_small = KMeans(n_clusters=2, random_state=1).fit(X).inertia_
+        inertia_large = KMeans(n_clusters=3, random_state=1).fit(X).inertia_
+        assert inertia_large < inertia_small
+
+    def test_deterministic(self, blobs):
+        X, _ = blobs
+        a = KMeans(n_clusters=3, random_state=5).fit(X)
+        b = KMeans(n_clusters=3, random_state=5).fit(X)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_too_many_clusters(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            KMeans(n_clusters=10).fit(np.zeros((3, 2)))
+
+    def test_degenerate_identical_points(self):
+        X = np.ones((20, 2))
+        model = KMeans(n_clusters=2, random_state=0).fit(X)
+        assert model.inertia_ == pytest.approx(0.0)
+
+
+class TestAdaBoost:
+    def test_learns_nonlinear(self, labeled_data):
+        X, y = labeled_data
+        model = AdaBoostClassifier(n_estimators=20, max_depth=2).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_stumps_weaker_than_trees(self, labeled_data):
+        X, y = labeled_data
+        stumps = AdaBoostClassifier(n_estimators=3, max_depth=1).fit(X, y)
+        trees = AdaBoostClassifier(n_estimators=20, max_depth=2).fit(X, y)
+        assert trees.score(X, y) >= stumps.score(X, y)
+
+    def test_warmstart_continues(self, labeled_data):
+        X, y = labeled_data
+        base = AdaBoostClassifier(n_estimators=5, max_depth=1).fit(X, y)
+        warm = AdaBoostClassifier(n_estimators=12, max_depth=1)
+        warm.fit(X, y, warm_start_from=base)
+        assert warm.warm_started_
+        assert warm.n_rounds_trained_ == 7
+        assert warm.estimators_[0] is base.estimators_[0]
+
+    def test_proba_valid(self, labeled_data):
+        X, y = labeled_data
+        proba = AdaBoostClassifier(n_estimators=5).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_rejects_multiclass(self):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier().fit(np.zeros((3, 1)), np.asarray([0, 1, 2]))
+
+
+class TestRidgeLasso:
+    @pytest.fixture
+    def linear_data(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 5))
+        true_w = np.asarray([3.0, -2.0, 0.0, 0.0, 1.0])
+        y = X @ true_w + 0.5 + rng.normal(scale=0.05, size=100)
+        return X, y, true_w
+
+    def test_ridge_recovers_weights(self, linear_data):
+        X, y, true_w = linear_data
+        model = Ridge(alpha=0.01).fit(X, y)
+        assert np.allclose(model.coef_, true_w, atol=0.1)
+        assert model.score(X, y) > 0.99
+
+    def test_ridge_shrinks_with_alpha(self, linear_data):
+        X, y, _ = linear_data
+        small = Ridge(alpha=0.01).fit(X, y)
+        large = Ridge(alpha=1000.0).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_ridge_alpha_zero_equals_ols(self, linear_data):
+        X, y, _ = linear_data
+        ridge = Ridge(alpha=0.0).fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_lasso_sparsifies(self, linear_data):
+        X, y, true_w = linear_data
+        model = Lasso(alpha=0.1).fit(X, y)
+        assert model.coef_[2] == pytest.approx(0.0, abs=0.02)
+        assert model.coef_[3] == pytest.approx(0.0, abs=0.02)
+        assert abs(model.coef_[0]) > 1.0
+
+    def test_lasso_huge_alpha_zeroes_everything(self, linear_data):
+        X, y, _ = linear_data
+        model = Lasso(alpha=1e6).fit(X, y)
+        assert np.allclose(model.coef_, 0.0)
+        assert model.intercept_ == pytest.approx(np.mean(y))
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            Ridge(alpha=-1.0)
+        with pytest.raises(ValueError):
+            Lasso(alpha=-1.0)
+
+    def test_lasso_constant_feature_ignored(self):
+        X = np.column_stack([np.ones(50), np.arange(50.0)])
+        y = 2.0 * X[:, 1]
+        model = Lasso(alpha=0.01).fit(X, y)
+        assert model.predict(X) == pytest.approx(y, abs=1.0)

@@ -1,0 +1,216 @@
+"""Tests for text vectorizers, feature selection, and decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    PCA,
+    CountVectorizer,
+    HashingVectorizer,
+    SelectKBest,
+    TfidfVectorizer,
+    TruncatedSVD,
+    VarianceThreshold,
+    chi2,
+    f_classif,
+    mutual_info_classif,
+)
+
+DOCS = np.asarray(
+    [
+        "the quick brown fox",
+        "the lazy dog",
+        "quick quick fox",
+        None,
+    ],
+    dtype=object,
+)
+
+
+class TestCountVectorizer:
+    def test_vocabulary(self):
+        vec = CountVectorizer().fit(DOCS)
+        assert "quick" in vec.vocabulary_
+        assert "the" in vec.vocabulary_
+
+    def test_counts(self):
+        vec = CountVectorizer().fit(DOCS)
+        matrix = vec.transform(DOCS)
+        quick = vec.vocabulary_["quick"]
+        assert matrix[2, quick] == 2.0
+
+    def test_none_document_is_empty(self):
+        vec = CountVectorizer().fit(DOCS)
+        assert vec.transform(DOCS)[3].sum() == 0.0
+
+    def test_max_features_keeps_most_frequent(self):
+        vec = CountVectorizer(max_features=2).fit(DOCS)
+        assert len(vec.vocabulary_) == 2
+        assert "quick" in vec.vocabulary_
+
+    def test_min_df(self):
+        vec = CountVectorizer(min_df=2).fit(DOCS)
+        assert "lazy" not in vec.vocabulary_
+        assert "quick" in vec.vocabulary_
+
+    def test_binary_mode(self):
+        vec = CountVectorizer(binary=True).fit(DOCS)
+        assert vec.transform(DOCS).max() == 1.0
+
+    def test_short_tokens_dropped(self):
+        vec = CountVectorizer().fit(np.asarray(["a I at"], dtype=object))
+        assert "a" not in vec.vocabulary_
+        assert "at" in vec.vocabulary_
+
+    def test_feature_names_sorted(self):
+        vec = CountVectorizer().fit(DOCS)
+        names = vec.get_feature_names()
+        assert names == sorted(names)
+
+
+class TestTfidf:
+    def test_rows_l2_normalized(self):
+        matrix = TfidfVectorizer().fit_transform(DOCS[:3])
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_rare_terms_weighted_higher(self):
+        vec = TfidfVectorizer().fit(DOCS[:3])
+        # 'lazy' appears in 1 doc, 'the' in 2 -> higher idf for 'lazy'
+        assert vec.idf_[vec.vocabulary_["lazy"]] > vec.idf_[vec.vocabulary_["the"]]
+
+
+class TestHashingVectorizer:
+    def test_fixed_width(self):
+        matrix = HashingVectorizer(n_features=16).fit_transform(DOCS)
+        assert matrix.shape == (4, 16)
+
+    def test_deterministic(self):
+        a = HashingVectorizer(n_features=32).fit_transform(DOCS)
+        b = HashingVectorizer(n_features=32).fit_transform(DOCS)
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            HashingVectorizer(n_features=0)
+
+
+class TestScoreFunctions:
+    @pytest.fixture
+    def informative_data(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=300)
+        informative = y * 2.0 + rng.normal(scale=0.3, size=300)
+        noise = rng.normal(size=300)
+        X = np.column_stack([noise, informative])
+        return X, y
+
+    def test_f_classif_ranks_informative_higher(self, informative_data):
+        X, y = informative_data
+        scores = f_classif(X, y)
+        assert scores[1] > scores[0]
+
+    def test_chi2_requires_nonnegative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            chi2(np.asarray([[-1.0]]), np.asarray([0]))
+
+    def test_chi2_ranks_informative_higher(self, informative_data):
+        X, y = informative_data
+        scores = chi2(np.abs(X), y)
+        assert scores[1] > scores[0]
+
+    def test_mutual_info_ranks_informative_higher(self, informative_data):
+        X, y = informative_data
+        scores = mutual_info_classif(X, y)
+        assert scores[1] > scores[0]
+
+    def test_mutual_info_constant_feature_zero(self):
+        X = np.column_stack([np.ones(50)])
+        y = np.arange(50) % 2
+        assert mutual_info_classif(X, y)[0] == 0.0
+
+
+class TestSelectKBest:
+    def test_selects_k(self, labeled_data):
+        X, y = labeled_data
+        selector = SelectKBest(k=2).fit(X, y)
+        assert selector.transform(X).shape == (len(X), 2)
+
+    def test_k_larger_than_features(self, labeled_data):
+        X, y = labeled_data
+        selector = SelectKBest(k=100).fit(X, y)
+        assert selector.transform(X).shape == X.shape
+
+    def test_support_mask(self, labeled_data):
+        X, y = labeled_data
+        selector = SelectKBest(k=2).fit(X, y)
+        assert selector.get_support().sum() == 2
+
+    def test_keeps_column_order(self, labeled_data):
+        X, y = labeled_data
+        selector = SelectKBest(k=3).fit(X, y)
+        assert list(selector.selected_) == sorted(selector.selected_)
+
+
+class TestVarianceThreshold:
+    def test_drops_constant(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        out = VarianceThreshold().fit_transform(X)
+        assert out.shape == (10, 1)
+
+    def test_all_dropped_raises(self):
+        with pytest.raises(ValueError, match="threshold"):
+            VarianceThreshold().fit(np.ones((5, 2)))
+
+
+class TestPCA:
+    def test_components_orthonormal(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 5))
+        pca = PCA(n_components=3).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_first_component_captures_dominant_direction(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=200)
+        X = np.column_stack([t * 10, t * 10 + rng.normal(scale=0.1, size=200)])
+        pca = PCA(n_components=1).fit(X)
+        assert pca.explained_variance_ratio_[0] > 0.99
+
+    def test_transform_shape(self):
+        X = np.random.default_rng(1).normal(size=(30, 6))
+        assert PCA(n_components=2).fit_transform(X).shape == (30, 2)
+
+    def test_inverse_transform_approximates(self):
+        rng = np.random.default_rng(0)
+        t = rng.normal(size=(50, 1))
+        X = np.hstack([t, 2 * t, 3 * t])  # rank 1
+        pca = PCA(n_components=1).fit(X)
+        reconstructed = pca.inverse_transform(pca.transform(X))
+        assert np.allclose(reconstructed, X, atol=1e-8)
+
+    def test_deterministic_sign(self):
+        X = np.random.default_rng(2).normal(size=(40, 4))
+        a = PCA(n_components=2).fit(X).components_
+        b = PCA(n_components=2).fit(X).components_
+        assert np.allclose(a, b)
+
+    def test_n_components_capped(self):
+        X = np.random.default_rng(0).normal(size=(5, 3))
+        pca = PCA(n_components=10).fit(X)
+        assert pca.components_.shape[0] == 3
+
+
+class TestTruncatedSVD:
+    def test_shape(self):
+        X = np.abs(np.random.default_rng(0).normal(size=(20, 7)))
+        assert TruncatedSVD(n_components=3).fit_transform(X).shape == (20, 3)
+
+    def test_no_centering(self):
+        # rank-1 non-centered data is captured exactly without centering
+        X = np.outer(np.arange(1, 11.0), np.asarray([1.0, 2.0]))
+        svd = TruncatedSVD(n_components=1).fit(X)
+        Z = svd.transform(X)
+        reconstructed = Z @ svd.components_
+        assert np.allclose(reconstructed, X)

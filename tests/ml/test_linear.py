@@ -1,0 +1,164 @@
+"""Tests for linear models, including warmstart semantics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearRegression, LinearSVC, LogisticRegression, SGDClassifier
+from repro.ml.base import clone
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self, labeled_data):
+        X, y = labeled_data
+        model = LogisticRegression(max_iter=200, learning_rate=0.5).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_predict_proba_shape_and_range(self, labeled_data):
+        X, y = labeled_data
+        model = LogisticRegression(max_iter=50).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        assert np.all(proba >= 0) and np.all(proba <= 1)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_rejects_multiclass(self):
+        X = np.zeros((3, 1))
+        with pytest.raises(ValueError, match="classes"):
+            LogisticRegression().fit(X, np.asarray([0, 1, 2]))
+
+    def test_rejects_nan_input(self):
+        X = np.asarray([[np.nan], [1.0]])
+        with pytest.raises(ValueError, match="NaN"):
+            LogisticRegression().fit(X, np.asarray([0, 1]))
+
+    def test_preserves_class_labels(self):
+        X = np.asarray([[-1.0], [-2.0], [1.0], [2.0]])
+        y = np.asarray([5, 5, 9, 9])
+        model = LogisticRegression(max_iter=100, learning_rate=1.0).fit(X, y)
+        assert set(model.predict(X)) <= {5, 9}
+
+    def test_n_iter_recorded(self, labeled_data):
+        X, y = labeled_data
+        model = LogisticRegression(max_iter=17, tol=0.0).fit(X, y)
+        assert model.n_iter_ == 17
+
+
+class TestWarmstart:
+    def test_warmstart_flag(self, labeled_data):
+        X, y = labeled_data
+        base = LogisticRegression(max_iter=100, learning_rate=0.5).fit(X, y)
+        warm = LogisticRegression(max_iter=100, learning_rate=0.5)
+        warm.fit(X, y, warm_start_from=base)
+        assert warm.warm_started_
+        cold = LogisticRegression(max_iter=100).fit(X, y)
+        assert not cold.warm_started_
+
+    def test_warmstart_converges_faster(self, labeled_data):
+        X, y = labeled_data
+        base = LogisticRegression(max_iter=3000, learning_rate=0.5, tol=1e-5).fit(X, y)
+        assert base.n_iter_ < 3000, "base model must converge for this test"
+        warm = LogisticRegression(max_iter=3000, learning_rate=0.5, tol=1e-5)
+        warm.fit(X, y, warm_start_from=base)
+        assert warm.n_iter_ < base.n_iter_
+
+    def test_warmstart_dimension_mismatch(self, labeled_data):
+        X, y = labeled_data
+        base = LogisticRegression(max_iter=10).fit(X[:, :2], y)
+        with pytest.raises(ValueError, match="features"):
+            LogisticRegression(max_iter=10).fit(X, y, warm_start_from=base)
+
+    def test_warmstart_from_unfitted_is_cold(self, labeled_data):
+        X, y = labeled_data
+        model = LogisticRegression(max_iter=10)
+        model.fit(X, y, warm_start_from=LogisticRegression())
+        assert not model.warm_started_
+
+    def test_supports_warm_start_attribute(self):
+        assert LogisticRegression.supports_warm_start
+        assert LinearSVC.supports_warm_start
+        assert not LinearRegression.supports_warm_start
+
+
+class TestLinearSVC:
+    def test_learns_separable_data(self, labeled_data):
+        X, y = labeled_data
+        model = LinearSVC(max_iter=300, learning_rate=0.3).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_decision_function_sign_matches_prediction(self, labeled_data):
+        X, y = labeled_data
+        model = LinearSVC(max_iter=100).fit(X, y)
+        margins = model.decision_function(X)
+        predictions = model.predict(X)
+        assert np.all((margins >= 0) == (predictions == model.classes_[1]))
+
+
+class TestSGDClassifier:
+    def test_log_loss_learns(self, labeled_data):
+        X, y = labeled_data
+        model = SGDClassifier(loss="log", max_iter=50, learning_rate=0.2).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_hinge_loss_learns(self, labeled_data):
+        X, y = labeled_data
+        model = SGDClassifier(loss="hinge", max_iter=50, learning_rate=0.2).fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_unknown_loss(self):
+        with pytest.raises(ValueError, match="loss"):
+            SGDClassifier(loss="squared")
+
+    def test_deterministic_given_seed(self, labeled_data):
+        X, y = labeled_data
+        a = SGDClassifier(max_iter=10, random_state=3).fit(X, y)
+        b = SGDClassifier(max_iter=10, random_state=3).fit(X, y)
+        assert np.allclose(a.coef_, b.coef_)
+
+    def test_warmstart(self, labeled_data):
+        X, y = labeled_data
+        base = SGDClassifier(max_iter=30).fit(X, y)
+        warm = SGDClassifier(max_iter=30)
+        warm.fit(X, y, warm_start_from=base)
+        assert warm.warm_started_
+
+
+class TestLinearRegression:
+    def test_recovers_exact_line(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = 3.0 * X.ravel() + 2.0
+        model = LinearRegression().fit(X, y)
+        assert model.coef_[0] == pytest.approx(3.0)
+        assert model.intercept_ == pytest.approx(2.0)
+
+    def test_r2_score_perfect(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        y = 3.0 * X.ravel() + 2.0
+        model = LinearRegression().fit(X, y)
+        assert model.score(X, y) == pytest.approx(1.0)
+
+
+class TestParamsAndClone:
+    def test_get_params(self):
+        model = LogisticRegression(C=2.0, max_iter=7)
+        params = model.get_params()
+        assert params["C"] == 2.0
+        assert params["max_iter"] == 7
+
+    def test_set_params(self):
+        model = LogisticRegression().set_params(C=5.0)
+        assert model.C == 5.0
+
+    def test_set_unknown_param(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            LogisticRegression().set_params(bogus=1)
+
+    def test_clone_resets_fit_state(self, labeled_data):
+        X, y = labeled_data
+        model = LogisticRegression(max_iter=10).fit(X, y)
+        duplicate = clone(model)
+        assert not duplicate.is_fitted
+        assert duplicate.get_params() == model.get_params()

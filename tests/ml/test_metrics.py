@@ -1,0 +1,167 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    precision_recall_curve,
+    precision_score,
+    r2_score,
+    recall_score,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([1, 0], [1, 1]) == 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            accuracy_score([1], [1, 0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            accuracy_score([], [])
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        assert roc_auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_ties_use_midranks(self):
+        # one tie between a positive and a negative contributes 0.5
+        auc = roc_auc_score([0, 1, 1], [0.3, 0.3, 0.9])
+        assert auc == pytest.approx(0.75)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="both classes"):
+            roc_auc_score([1, 1], [0.5, 0.6])
+
+    def test_invariant_to_monotone_transform(self):
+        y = np.asarray([0, 1, 0, 1, 1, 0])
+        s = np.asarray([0.1, 0.7, 0.3, 0.9, 0.6, 0.2])
+        assert roc_auc_score(y, s) == pytest.approx(roc_auc_score(y, s * 10 + 3))
+
+
+class TestLogLoss:
+    def test_confident_correct_is_small(self):
+        assert log_loss([1, 0], [0.99, 0.01]) < 0.02
+
+    def test_confident_wrong_is_large(self):
+        assert log_loss([1, 0], [0.01, 0.99]) > 4.0
+
+    def test_clipping_avoids_infinity(self):
+        assert np.isfinite(log_loss([1], [0.0]))
+
+
+class TestConfusionDerived:
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix([1, 1, 0, 0], [1, 0, 0, 1])
+        assert matrix.tolist() == [[1, 1], [1, 1]]
+
+    def test_precision(self):
+        assert precision_score([1, 0, 0], [1, 1, 0]) == 0.5
+
+    def test_recall(self):
+        assert recall_score([1, 1, 0], [1, 0, 0]) == 0.5
+
+    def test_f1_harmonic_mean(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 0, 0]
+        p, r = precision_score(y_true, y_pred), recall_score(y_true, y_pred)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 * p * r / (p + r))
+
+    def test_f1_zero_when_no_positives_predicted(self):
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+
+class TestCurves:
+    def test_roc_curve_perfect_classifier(self):
+        fpr, tpr, thresholds = roc_curve([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        # TPR reaches 1.0 before any false positive
+        assert tpr[np.flatnonzero(fpr > 0)[0] - 1] == 1.0
+
+    def test_roc_curve_monotone(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=50)
+        y[:2] = [0, 1]
+        s = rng.random(50)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_roc_curve_area_matches_auc(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=100)
+        y[:2] = [0, 1]
+        s = rng.random(100)
+        fpr, tpr, _ = roc_curve(y, s)
+        area = float(np.trapezoid(tpr, fpr))
+        assert area == pytest.approx(roc_auc_score(y, s), abs=1e-9)
+
+    def test_roc_curve_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_curve([1, 1], [0.1, 0.9])
+
+    def test_pr_curve_perfect_classifier(self):
+        precision, recall, _ = precision_recall_curve([0, 1, 1], [0.1, 0.8, 0.9])
+        assert precision[0] == 1.0
+        assert recall[-1] == 1.0
+
+    def test_pr_curve_thresholds_decreasing(self):
+        rng = np.random.default_rng(2)
+        y = rng.integers(0, 2, size=40)
+        y[0] = 1
+        s = rng.random(40)
+        _p, _r, thresholds = precision_recall_curve(y, s)
+        assert np.all(np.diff(thresholds) <= 0)
+
+    def test_pr_curve_recall_monotone(self):
+        rng = np.random.default_rng(3)
+        y = rng.integers(0, 2, size=40)
+        y[0] = 1
+        s = rng.random(40)
+        _p, recall, _t = precision_recall_curve(y, s)
+        assert np.all(np.diff(recall) >= 0)
+
+    def test_pr_curve_requires_positives(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve([0, 0], [0.2, 0.4])
+
+
+class TestRegressionMetrics:
+    def test_mse(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 4.0]) == 2.0
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == 1.5
+
+    def test_r2_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.asarray([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_truth(self):
+        assert r2_score([1.0, 1.0], [1.0, 1.0]) == 1.0
+        assert r2_score([1.0, 1.0], [2.0, 2.0]) == 0.0

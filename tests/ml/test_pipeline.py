@@ -1,0 +1,137 @@
+"""Tests for Pipeline and FeatureUnion composition."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    PCA,
+    FeatureUnion,
+    GridSearchCV,
+    LogisticRegression,
+    Pipeline,
+    SelectKBest,
+    StandardScaler,
+    make_pipeline,
+)
+from repro.ml.base import clone
+
+
+@pytest.fixture
+def pipeline():
+    return Pipeline(
+        [
+            ("scale", StandardScaler()),
+            ("select", SelectKBest(k=2)),
+            ("model", LogisticRegression(max_iter=50, learning_rate=0.5)),
+        ]
+    )
+
+
+class TestPipeline:
+    def test_fit_predict(self, pipeline, labeled_data):
+        X, y = labeled_data
+        pipeline.fit(X, y)
+        assert pipeline.score(X, y) > 0.8
+
+    def test_predict_proba_passthrough(self, pipeline, labeled_data):
+        X, y = labeled_data
+        pipeline.fit(X, y)
+        proba = pipeline.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_all_transformer_pipeline(self, labeled_data):
+        X, y = labeled_data
+        transformer = Pipeline([("scale", StandardScaler()), ("pca", PCA(n_components=2))])
+        Z = transformer.fit(X, y).transform(X)
+        assert Z.shape == (len(X), 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Pipeline([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Pipeline([("a", StandardScaler()), ("a", StandardScaler())])
+
+    def test_non_transformer_intermediate_rejected(self, labeled_data):
+        X, y = labeled_data
+        bad = Pipeline([("model", LogisticRegression()), ("scale", StandardScaler())])
+        with pytest.raises(TypeError, match="transformer"):
+            bad.fit(X, y)
+
+    def test_named_step(self, pipeline):
+        assert isinstance(pipeline.named_step("scale"), StandardScaler)
+        with pytest.raises(KeyError):
+            pipeline.named_step("nope")
+
+    def test_nested_params(self, pipeline):
+        params = pipeline.get_params()
+        assert params["select__k"] == 2
+        pipeline.set_params(select__k=3, model__C=0.5)
+        assert pipeline.named_step("select").k == 3
+        assert pipeline.named_step("model").C == 0.5
+
+    def test_invalid_param_rejected(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.set_params(nosuchstep__k=1)
+
+    def test_clone_preserves_structure(self, pipeline):
+        duplicate = clone(pipeline)
+        assert [name for name, _ in duplicate.steps] == ["scale", "select", "model"]
+        assert not duplicate.is_fitted
+
+    def test_refit_does_not_leak_state(self, pipeline, labeled_data):
+        """Fitting twice must not stack transformations."""
+        X, y = labeled_data
+        pipeline.fit(X, y)
+        first = pipeline.predict(X)
+        pipeline.fit(X, y)
+        assert np.array_equal(pipeline.predict(X), first)
+
+    def test_grid_search_over_pipeline(self, labeled_data):
+        X, y = labeled_data
+        search = GridSearchCV(
+            Pipeline(
+                [("scale", StandardScaler()), ("model", LogisticRegression(max_iter=30))]
+            ),
+            param_grid={"model__C": [0.1, 10.0]},
+            cv=2,
+        ).fit(X, y)
+        assert search.best_params_["model__C"] in (0.1, 10.0)
+
+    def test_make_pipeline_names(self):
+        built = make_pipeline(StandardScaler(), LogisticRegression())
+        assert [name for name, _ in built.steps] == [
+            "standardscaler_0",
+            "logisticregression_1",
+        ]
+
+
+class TestFeatureUnion:
+    def test_concatenates_blocks(self, labeled_data):
+        X, y = labeled_data
+        union = FeatureUnion(
+            [("pca", PCA(n_components=2)), ("select", SelectKBest(k=1))]
+        )
+        Z = union.fit(X, y).transform(X)
+        assert Z.shape == (len(X), 3)
+
+    def test_inside_pipeline(self, labeled_data):
+        X, y = labeled_data
+        model = Pipeline(
+            [
+                ("features", FeatureUnion([("pca", PCA(n_components=2)),
+                                           ("scale", StandardScaler())])),
+                ("model", LogisticRegression(max_iter=50, learning_rate=0.5)),
+            ]
+        ).fit(X, y)
+        assert model.score(X, y) > 0.8
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureUnion([])
+
+    def test_nested_params(self):
+        union = FeatureUnion([("pca", PCA(n_components=2))])
+        union.set_params(pca__n_components=3)
+        assert union.transformer_list[0][1].n_components == 3

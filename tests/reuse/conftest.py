@@ -1,0 +1,110 @@
+"""Builders for reuse-algorithm tests with injected costs.
+
+Load costs are injected through a unit load-cost model (bandwidth 1 byte/s,
+zero latency), so a vertex's EG ``size`` *is* its load cost in seconds —
+letting tests state the paper's ⟨C_i, C_l⟩ labels directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eg.graph import ExperimentGraph
+from repro.eg.storage import LoadCostModel
+from repro.graph.dag import WorkloadDAG
+from repro.graph.operations import DataOperation
+
+UNIT_LOAD = LoadCostModel(bandwidth_bytes_per_s=1.0, latency_s=0.0)
+
+
+class Op(DataOperation):
+    def __init__(self, tag: str):
+        super().__init__("op", params={"tag": tag})
+
+    def run(self, underlying_data):
+        return underlying_data
+
+
+class PlanningScenario:
+    """Builds a workload DAG + EG pair with hand-specified ⟨C_i, C_l⟩."""
+
+    def __init__(self):
+        self.workload = WorkloadDAG()
+        self._spec: dict[str, tuple[float, float | None, bool]] = {}
+
+    def source(self, name: str) -> str:
+        return self.workload.add_source(name, payload=f"data:{name}")
+
+    def vertex(
+        self,
+        tag: str,
+        parents: list[str],
+        compute: float,
+        load: float | None = None,
+        computed: bool = False,
+        in_eg: bool = True,
+    ) -> str:
+        """Add a vertex; ``load=None`` means unmaterialized (C_l = inf)."""
+        vertex_id = self.workload.add_operation(parents, Op(tag))
+        if computed:
+            self.workload.vertex(vertex_id).data = f"computed:{tag}"
+            self.workload.vertex(vertex_id).computed = True
+        if in_eg:
+            self._spec[vertex_id] = (compute, load, load is not None)
+        return vertex_id
+
+    def build_eg(self) -> ExperimentGraph:
+        eg = ExperimentGraph()
+        eg.union_workload(self.workload)
+        # wipe the state the union copied from the (partially computed)
+        # workload; planners must rely only on what we inject below
+        for record in eg.artifact_vertices():
+            record.compute_time = 0.0
+            record.size = 0
+        for vertex_id, (compute, load, materialized) in self._spec.items():
+            record = eg.vertex(vertex_id)
+            record.compute_time = compute
+            if materialized:
+                record.size = int(load)
+                record.materialized = True
+                eg.store.put(vertex_id, f"stored:{vertex_id[:8]}")
+        # vertices missing from the spec are removed: "not in EG"
+        for vertex in list(self.workload.artifact_vertices()):
+            if (
+                not vertex.is_source
+                and vertex.vertex_id not in self._spec
+                and vertex.vertex_id in eg.graph
+            ):
+                eg.graph.remove_node(vertex.vertex_id)
+        return eg
+
+
+@pytest.fixture
+def scenario():
+    return PlanningScenario()
+
+
+@pytest.fixture
+def figure3(scenario):
+    """The paper's Figure 3 example, reconstructed.
+
+    * v1: ⟨10, 5⟩ materialized  -> load (T=5), joins R
+    * u1: ⟨10, ∞⟩ unmaterialized -> compute (T=10)
+    * w:  already computed in the workload (T=0)
+    * v2: ⟨1, 17⟩ materialized  -> execution 10+5+1=16 < 17 -> compute
+    * v3: ⟨5, 20⟩ materialized  -> execution 16+0+5=21 > 20 -> load, joins R
+    * t:  not in EG (new work)  -> forward pass stops
+    Backward pass keeps only v3 (v1 is above the loaded frontier).
+    """
+    s1 = scenario.source("s1")
+    s2 = scenario.source("s2")
+    s3 = scenario.source("s3")
+    v1 = scenario.vertex("v1", [s1], compute=10.0, load=5.0)
+    u1 = scenario.vertex("u1", [s2], compute=10.0, load=None)
+    w = scenario.vertex("w", [s3], compute=10.0, load=None, computed=True)
+    v2 = scenario.vertex("v2", [v1, u1], compute=1.0, load=17.0)
+    v3 = scenario.vertex("v3", [v2, w], compute=5.0, load=20.0)
+    t = scenario.vertex("t", [v3], compute=0.0, in_eg=False)
+    scenario.workload.mark_terminal(t)
+    eg = scenario.build_eg()
+    return scenario.workload, eg, {"v1": v1, "u1": u1, "w": w, "v2": v2, "v3": v3, "t": t}

@@ -1,0 +1,137 @@
+"""Tests for the Helix PSP/min-cut reuse, max-flow, and trivial baselines."""
+
+import pytest
+
+from repro.reuse.baselines import AllMaterializedReuse, NoReuse
+from repro.reuse.helix import HelixReuse
+from repro.reuse.linear import LinearReuse
+from repro.reuse.maxflow import FlowNetwork
+from repro.workloads.synthetic_dag import (
+    SyntheticDAGConfig,
+    build_matching_eg,
+    generate_synthetic_workload,
+)
+
+from .conftest import UNIT_LOAD
+
+
+class TestFlowNetwork:
+    def test_simple_path(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 3.0)
+        network.add_edge("a", "t", 2.0)
+        assert network.max_flow("s", "t") == 2.0
+
+    def test_parallel_paths(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 1.0)
+        network.add_edge("s", "b", 1.0)
+        network.add_edge("a", "t", 1.0)
+        network.add_edge("b", "t", 1.0)
+        assert network.max_flow("s", "t") == 2.0
+
+    def test_classic_crossing_network(self):
+        network = FlowNetwork()
+        edges = [
+            ("s", "a", 10), ("s", "b", 10), ("a", "b", 2),
+            ("a", "t", 4), ("b", "t", 9), ("a", "c", 8), ("c", "t", 10),
+        ]
+        for u, v, c in edges:
+            network.add_edge(u, v, float(c))
+        assert network.max_flow("s", "t") == 19.0
+
+    def test_min_cut_side(self):
+        network = FlowNetwork()
+        network.add_edge("s", "a", 5.0)
+        network.add_edge("a", "t", 1.0)
+        network.max_flow("s", "t")
+        assert network.min_cut_source_side("s") == {"s", "a"}
+
+    def test_missing_nodes(self):
+        assert FlowNetwork().max_flow("s", "t") == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork().add_edge("a", "b", -1.0)
+
+    def test_parallel_edge_capacities_add(self):
+        network = FlowNetwork()
+        network.add_edge("s", "t", 1.0)
+        network.add_edge("s", "t", 2.0)
+        assert network.max_flow("s", "t") == 3.0
+
+
+class TestHelixMatchesLinear:
+    def test_figure3_same_plan(self, figure3):
+        workload, eg, ids = figure3
+        plan_hl = HelixReuse(UNIT_LOAD).plan(workload, eg)
+        plan_ln = LinearReuse(UNIT_LOAD).plan(workload, eg)
+        assert plan_hl.loads == plan_ln.loads == {ids["v3"]}
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_synthetic_workloads_equal_cost(self, seed):
+        """Both planners are optimal: plan costs must match (paper 7.4)."""
+        config = SyntheticDAGConfig(min_nodes=40, max_nodes=120)
+        workload = generate_synthetic_workload(seed, config)
+        eg = build_matching_eg(workload, seed, config)
+        plan_ln = LinearReuse().plan(workload, eg)
+        plan_hl = HelixReuse().plan(workload, eg)
+        assert plan_hl.estimated_cost == pytest.approx(
+            plan_ln.estimated_cost, rel=1e-9
+        )
+
+    def test_diamond_divergence_documented(self, scenario):
+        """Regression for the known LN/HL divergence (see linear.py note).
+
+        Two materialized siblings (load 10 each) share an unmaterialized
+        10s parent.  LN double-counts the parent in each sibling's
+        execution cost and loads both (total 21); the min-cut computes the
+        parent once (total 13).
+        """
+        s = scenario.source("s")
+        x = scenario.vertex("x", [s], compute=10.0, load=None)
+        a = scenario.vertex("a", [x], compute=1.0, load=10.0)
+        b = scenario.vertex("b", [x], compute=1.0, load=10.0)
+        sink = scenario.vertex("sink", [a, b], compute=1.0, load=None)
+        scenario.workload.mark_terminal(sink)
+        eg = scenario.build_eg()
+        plan_ln = LinearReuse(UNIT_LOAD).plan(scenario.workload, eg)
+        plan_hl = HelixReuse(UNIT_LOAD).plan(scenario.workload, eg)
+        assert plan_ln.loads == {a, b}
+        assert plan_ln.estimated_cost == pytest.approx(21.0)
+        assert plan_hl.loads == set()
+        assert plan_hl.estimated_cost == pytest.approx(13.0)
+
+    def test_helix_loads_only_materialized(self, scenario):
+        s = scenario.source("s")
+        v = scenario.vertex("v", [s], compute=1000.0, load=None)
+        scenario.workload.mark_terminal(v)
+        plan = HelixReuse(UNIT_LOAD).plan(scenario.workload, scenario.build_eg())
+        assert plan.loads == set()
+
+
+class TestBaselines:
+    def test_all_m_loads_everything_materialized(self, figure3):
+        workload, eg, ids = figure3
+        plan = AllMaterializedReuse(UNIT_LOAD).plan(workload, eg)
+        # v3 is loaded; v2/v1 sit above the loaded frontier and are skipped
+        assert plan.loads == {ids["v3"]}
+
+    def test_all_m_loads_even_when_loading_is_worse(self, scenario):
+        s = scenario.source("s")
+        v = scenario.vertex("v", [s], compute=1.0, load=1000.0)
+        scenario.workload.mark_terminal(v)
+        plan = AllMaterializedReuse(UNIT_LOAD).plan(scenario.workload, scenario.build_eg())
+        assert plan.loads == {v}  # LN would have computed it
+
+    def test_all_c_never_loads(self, figure3):
+        workload, eg, _ids = figure3
+        plan = NoReuse().plan(workload, eg)
+        assert plan.loads == set()
+
+    def test_all_c_execution_set_is_everything_needed(self, figure3):
+        workload, eg, ids = figure3
+        plan = NoReuse().plan(workload, eg)
+        to_execute = plan.execution_set(workload)
+        assert ids["v1"] in to_execute
+        assert ids["w"] not in to_execute  # already computed in the client

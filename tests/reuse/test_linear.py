@@ -1,0 +1,115 @@
+"""Tests for the linear-time reuse algorithm (paper Algorithm 2 + Figure 3)."""
+
+import pytest
+
+from repro.reuse.linear import LinearReuse
+
+from .conftest import UNIT_LOAD
+
+
+class TestFigure3:
+    """The worked example of the paper, end to end."""
+
+    def test_forward_pass_candidates(self, figure3):
+        workload, eg, ids = figure3
+        planner = LinearReuse(UNIT_LOAD)
+        recreation, candidates = planner._forward_pass(workload, eg)
+        assert candidates == {ids["v1"], ids["v3"]}
+
+    def test_forward_pass_recreation_costs(self, figure3):
+        workload, eg, ids = figure3
+        planner = LinearReuse(UNIT_LOAD)
+        recreation, _ = planner._forward_pass(workload, eg)
+        assert recreation[ids["v1"]] == 5.0   # loaded
+        assert recreation[ids["u1"]] == 10.0  # computed (unmaterialized)
+        assert recreation[ids["w"]] == 0.0    # already in client memory
+        assert recreation[ids["v2"]] == 16.0  # computing beats the 17s load
+        assert recreation[ids["v3"]] == 20.0  # loading beats the 21s execution
+
+    def test_backward_pass_prunes_v1(self, figure3):
+        workload, eg, ids = figure3
+        plan = LinearReuse(UNIT_LOAD).plan(workload, eg)
+        assert plan.loads == {ids["v3"]}
+
+    def test_execution_set_stops_at_loaded_frontier(self, figure3):
+        workload, eg, ids = figure3
+        plan = LinearReuse(UNIT_LOAD).plan(workload, eg)
+        to_execute = plan.execution_set(workload)
+        assert ids["t"] in to_execute
+        assert ids["v2"] not in to_execute
+        assert ids["v1"] not in to_execute
+
+
+class TestLinearReuseProperties:
+    def test_empty_eg_loads_nothing(self, scenario):
+        s = scenario.source("s")
+        v = scenario.vertex("v", [s], compute=5.0, in_eg=False)
+        scenario.workload.mark_terminal(v)
+        eg = scenario.build_eg()
+        plan = LinearReuse(UNIT_LOAD).plan(scenario.workload, eg)
+        assert plan.loads == set()
+        assert plan.execution_set(scenario.workload) == {v}
+
+    def test_unmaterialized_never_loaded(self, scenario):
+        s = scenario.source("s")
+        v = scenario.vertex("v", [s], compute=1000.0, load=None)
+        scenario.workload.mark_terminal(v)
+        plan = LinearReuse(UNIT_LOAD).plan(scenario.workload, scenario.build_eg())
+        assert plan.loads == set()
+
+    def test_cheap_compute_preferred_over_expensive_load(self, scenario):
+        s = scenario.source("s")
+        v = scenario.vertex("v", [s], compute=1.0, load=100.0)
+        scenario.workload.mark_terminal(v)
+        plan = LinearReuse(UNIT_LOAD).plan(scenario.workload, scenario.build_eg())
+        assert plan.loads == set()
+
+    def test_load_cuts_upstream_execution(self, scenario):
+        s = scenario.source("s")
+        a = scenario.vertex("a", [s], compute=50.0, load=None)
+        b = scenario.vertex("b", [a], compute=50.0, load=1.0)
+        scenario.workload.mark_terminal(b)
+        plan = LinearReuse(UNIT_LOAD).plan(scenario.workload, scenario.build_eg())
+        assert plan.loads == {b}
+        assert plan.execution_set(scenario.workload) == set()
+
+    def test_computed_vertices_cost_zero(self, scenario):
+        s = scenario.source("s")
+        a = scenario.vertex("a", [s], compute=50.0, load=10.0, computed=True)
+        b = scenario.vertex("b", [a], compute=1.0, load=None)
+        scenario.workload.mark_terminal(b)
+        plan = LinearReuse(UNIT_LOAD).plan(scenario.workload, scenario.build_eg())
+        # a is already in memory; loading it would cost 10 > 0
+        assert plan.loads == set()
+
+    def test_multi_terminal_keeps_both_frontiers(self, scenario):
+        s = scenario.source("s")
+        a = scenario.vertex("a", [s], compute=50.0, load=1.0)
+        b = scenario.vertex("b", [s], compute=50.0, load=1.0)
+        scenario.workload.mark_terminal(a)
+        scenario.workload.mark_terminal(b)
+        plan = LinearReuse(UNIT_LOAD).plan(scenario.workload, scenario.build_eg())
+        assert plan.loads == {a, b}
+
+    def test_diamond_shared_parent(self, scenario):
+        """A loaded vertex shields its ancestors on every outgoing path."""
+        s = scenario.source("s")
+        hub = scenario.vertex("hub", [s], compute=100.0, load=2.0)
+        left = scenario.vertex("left", [hub], compute=1.0, load=None)
+        right = scenario.vertex("right", [hub], compute=1.0, load=None)
+        sink = scenario.vertex("sink", [left, right], compute=1.0, load=None)
+        scenario.workload.mark_terminal(sink)
+        plan = LinearReuse(UNIT_LOAD).plan(scenario.workload, scenario.build_eg())
+        assert plan.loads == {hub}
+        assert plan.execution_set(scenario.workload) == {left, right, sink}
+
+    def test_plan_cost_counts_shared_ancestors_once(self, scenario):
+        s = scenario.source("s")
+        hub = scenario.vertex("hub", [s], compute=10.0, load=None)
+        left = scenario.vertex("left", [hub], compute=1.0, load=None)
+        right = scenario.vertex("right", [hub], compute=1.0, load=None)
+        sink = scenario.vertex("sink", [left, right], compute=1.0, load=None)
+        scenario.workload.mark_terminal(sink)
+        eg = scenario.build_eg()
+        plan = LinearReuse(UNIT_LOAD).plan(scenario.workload, eg)
+        assert plan.estimated_cost == pytest.approx(13.0)

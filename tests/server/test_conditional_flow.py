@@ -1,0 +1,82 @@
+"""Tests for conditional control flow via compute_node (paper Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.client.api import Workspace
+from repro.dataframe import DataFrame
+from repro.materialization import MaterializeAll
+from repro.ml import GradientBoostingClassifier, LogisticRegression
+from repro.server.service import CollaborativeOptimizer
+
+
+@pytest.fixture
+def sources():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(80, 2))
+    y = (X[:, 0] + X[:, 1] > 0).astype(np.int64)
+    return {"train": DataFrame({"a": X[:, 0], "b": X[:, 1], "y": y})}
+
+
+class TestConditionalControlFlow:
+    def test_branch_on_computed_aggregate(self, sources):
+        """The paper's rule: compute the condition, then branch in Python."""
+        co = CollaborativeOptimizer(MaterializeAll())
+        ws = Workspace()
+        train = ws.source("train", sources["train"])
+        X, y = train[["a", "b"]], train["y"]
+        cheap = X.fit(LogisticRegression(max_iter=20), y=y, scorer="train_auc")
+        score = co.compute_node(ws, cheap.evaluate(X, y))
+        assert isinstance(score, float)
+
+        if score < 0.999:  # not perfect: escalate to a stronger model
+            final = X.fit(
+                GradientBoostingClassifier(n_estimators=4, max_depth=2),
+                y=y,
+                scorer="train_auc",
+            )
+        else:
+            final = cheap
+        final.terminal()
+        report = co.run_workspace(ws)
+        assert ws.dag.vertex(final.vertex_id).computed
+        # the prefix computed for the condition is not re-executed
+        assert report.executed_vertices <= 2
+
+    def test_condition_artifacts_enter_eg(self, sources):
+        co = CollaborativeOptimizer(MaterializeAll())
+        ws = Workspace()
+        train = ws.source("train", sources["train"])
+        stats = train.describe()
+        value = co.compute_node(ws, stats)
+        assert "a" in value
+        assert co.eg.num_vertices >= 2
+
+    def test_terminals_restored_after_compute_node(self, sources):
+        co = CollaborativeOptimizer(MaterializeAll())
+        ws = Workspace()
+        train = ws.source("train", sources["train"])
+        goal = train[["a"]]
+        goal.terminal()
+        co.compute_node(ws, train[["b"]])
+        assert ws.dag.terminals == [goal.vertex_id]
+
+    def test_second_session_reuses_condition_prefix(self, sources):
+        """A later user's identical condition is answered from the EG."""
+        co = CollaborativeOptimizer(MaterializeAll())
+        ws1 = Workspace()
+        stats1 = ws1.source("train", sources["train"]).describe()
+        co.compute_node(ws1, stats1)
+
+        ws2 = Workspace()
+        stats2 = ws2.source("train", sources["train"]).describe()
+        before = co.eg.vertex(stats2.vertex_id).frequency
+        value = co.compute_node(ws2, stats2)
+        assert value  # served
+        assert co.eg.vertex(stats2.vertex_id).frequency == before + 1
+
+    def test_eager_workspace_passthrough(self, sources):
+        co = CollaborativeOptimizer(MaterializeAll())
+        ws = Workspace(eager=True)
+        stats = ws.source("train", sources["train"]).describe()
+        assert co.compute_node(ws, stats) is stats.payload

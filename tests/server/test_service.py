@@ -1,0 +1,182 @@
+"""End-to-end tests for the CollaborativeOptimizer loop (paper Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame
+from repro.eg.storage import DedupArtifactStore
+from repro.materialization import (
+    HeuristicMaterializer,
+    MaterializeAll,
+    MaterializeNone,
+    StorageAwareMaterializer,
+)
+from repro.ml import GradientBoostingClassifier, LogisticRegression
+from repro.reuse import AllMaterializedReuse, HelixReuse, LinearReuse, NoReuse
+from repro.server.service import CollaborativeOptimizer
+
+
+@pytest.fixture
+def sources():
+    rng = np.random.default_rng(1)
+    frame = DataFrame(
+        {
+            "a": rng.normal(size=60),
+            "b": rng.normal(size=60),
+            "c": rng.normal(size=60),
+            "y": (rng.random(60) > 0.5).astype(np.int64),
+        }
+    )
+    return {"train": frame}
+
+
+def basic_script(ws, sources):
+    train = ws.source("train", sources["train"])
+    X = train[["a", "b", "c"]]
+    y = train["y"]
+    model = X.fit(LogisticRegression(max_iter=10), y=y, scorer="train_auc")
+    model.terminal()
+
+
+def modified_script(ws, sources):
+    """Shares the feature prefix with basic_script, different model."""
+    train = ws.source("train", sources["train"])
+    X = train[["a", "b", "c"]]
+    y = train["y"]
+    model = X.fit(
+        GradientBoostingClassifier(n_estimators=2, max_depth=1), y=y, scorer="train_auc"
+    )
+    model.terminal()
+
+
+class TestEndToEnd:
+    def test_first_run_executes_everything(self, sources):
+        co = CollaborativeOptimizer(MaterializeAll())
+        report = co.run_script(basic_script, sources)
+        assert report.executed_vertices == 3
+        assert report.loaded_vertices == 0
+
+    def test_repeat_run_loads_terminal_only(self, sources):
+        co = CollaborativeOptimizer(MaterializeAll())
+        co.run_script(basic_script, sources)
+        report = co.run_script(basic_script, sources)
+        assert report.executed_vertices == 0
+        assert report.loaded_vertices == 1
+
+    def test_modified_run_reuses_prefix(self, sources):
+        co = CollaborativeOptimizer(MaterializeAll())
+        co.run_script(basic_script, sources)
+        report = co.run_script(modified_script, sources)
+        # only the new GBT must be *trained*; the feature prefix is either
+        # loaded or (when recomputing a tiny select is cheaper than the
+        # modeled load) recomputed — never both
+        assert len(report.model_qualities) == 1
+        assert report.loaded_vertices + report.executed_vertices <= 3
+
+    def test_no_materialization_recomputes(self, sources):
+        co = CollaborativeOptimizer(MaterializeNone())
+        co.run_script(basic_script, sources)
+        report = co.run_script(basic_script, sources)
+        assert report.loaded_vertices == 0
+        assert report.executed_vertices == 3
+
+    def test_eg_grows_across_workloads(self, sources):
+        co = CollaborativeOptimizer(MaterializeAll())
+        co.run_script(basic_script, sources)
+        before = co.eg.num_vertices
+        co.run_script(modified_script, sources)
+        assert co.eg.num_vertices > before
+
+    def test_optimizer_overhead_recorded(self, sources):
+        co = CollaborativeOptimizer(MaterializeAll())
+        report = co.run_script(basic_script, sources)
+        assert report.optimizer_overhead > 0.0
+
+    def test_baseline_runs_eagerly(self, sources):
+        report = CollaborativeOptimizer.run_baseline(basic_script, sources)
+        assert report.executed_vertices == 3
+        assert report.plan_algorithm == "baseline"
+
+    def test_model_quality_recorded_in_eg(self, sources):
+        co = CollaborativeOptimizer(MaterializeAll())
+        report = co.run_script(basic_script, sources)
+        model_vid = next(iter(report.model_qualities))
+        assert co.eg.vertex(model_vid).quality == report.model_qualities[model_vid]
+
+    def test_store_bytes_property(self, sources):
+        co = CollaborativeOptimizer(MaterializeAll())
+        co.run_script(basic_script, sources)
+        assert co.store_bytes > 0
+
+
+class TestStrategyCombinations:
+    @pytest.mark.parametrize(
+        "materializer,store",
+        [
+            (StorageAwareMaterializer(budget_bytes=10_000_000), DedupArtifactStore()),
+            (HeuristicMaterializer(budget_bytes=10_000_000), None),
+        ],
+    )
+    @pytest.mark.parametrize(
+        "reuse", [LinearReuse(), HelixReuse(), AllMaterializedReuse(), NoReuse()]
+    )
+    def test_all_pairs_produce_results(self, sources, materializer, store, reuse):
+        co = CollaborativeOptimizer(materializer, reuse_algorithm=reuse, store=store)
+        first = co.run_script(basic_script, sources)
+        second = co.run_script(basic_script, sources)
+        assert first.terminal_values
+        assert second.terminal_values
+
+    def test_ln_and_helix_same_plan_on_same_eg(self, sources):
+        """Against identical EG state the two planners agree (paper 7.4).
+
+        End-to-end runs would measure slightly different wall-clock costs,
+        so the comparison is made on one shared EG and workload DAG.
+        """
+        from repro.client.parser import parse_workload
+        from repro.graph.pruning import prune_workload
+
+        co = CollaborativeOptimizer(MaterializeAll())
+        co.run_script(basic_script, sources)
+        workspace = parse_workload(modified_script, sources)
+        prune_workload(workspace.dag)
+        plan_ln = LinearReuse().plan(workspace.dag, co.eg)
+        plan_hl = HelixReuse().plan(workspace.dag, co.eg)
+        assert plan_ln.loads == plan_hl.loads
+        assert plan_ln.estimated_cost == pytest.approx(plan_hl.estimated_cost)
+
+
+class TestWarmstartingIntegration:
+    def test_warmstart_applied_when_enabled(self, sources):
+        co = CollaborativeOptimizer(MaterializeAll(), warmstarting=True)
+        co.run_script(modified_script, sources)
+
+        def bigger_gbt(ws, srcs):
+            train = ws.source("train", srcs["train"])
+            X = train[["a", "b", "c"]]
+            y = train["y"]
+            X.fit(
+                GradientBoostingClassifier(n_estimators=4, max_depth=1),
+                y=y,
+                scorer="train_auc",
+            ).terminal()
+
+        report = co.run_script(bigger_gbt, sources)
+        assert report.warmstarted_vertices == 1
+
+    def test_warmstart_off_by_default(self, sources):
+        co = CollaborativeOptimizer(MaterializeAll())
+        co.run_script(modified_script, sources)
+
+        def bigger_gbt(ws, srcs):
+            train = ws.source("train", srcs["train"])
+            X = train[["a", "b", "c"]]
+            y = train["y"]
+            X.fit(
+                GradientBoostingClassifier(n_estimators=4, max_depth=1),
+                y=y,
+                scorer="train_auc",
+            ).terminal()
+
+        report = co.run_script(bigger_gbt, sources)
+        assert report.warmstarted_vertices == 0

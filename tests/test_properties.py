@@ -1,0 +1,520 @@
+"""Property-based tests (hypothesis) for core data structures and invariants.
+
+The heavyweight properties are the planner ones: on random DAGs with random
+costs, the linear-time reuse plan must cost exactly what the Helix min-cut
+plan costs (both are optimal), and no more than either trivial baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import Column, DataFrame, derive_column_id
+from repro.eg.graph import ExperimentGraph
+from repro.eg.storage import DedupArtifactStore, LoadCostModel
+from repro.graph.artifacts import payload_size_bytes
+from repro.graph.dag import WorkloadDAG
+from repro.graph.operations import DataOperation, operation_hash
+from repro.materialization import HeuristicMaterializer, StorageAwareMaterializer
+from repro.ml import StandardScaler, accuracy_score, roc_auc_score
+from repro.reuse import AllMaterializedReuse, HelixReuse, LinearReuse, NoReuse
+from repro.reuse.maxflow import FlowNetwork
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+# ----------------------------------------------------------------------
+# DataFrame invariants
+# ----------------------------------------------------------------------
+column_values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=30
+)
+
+
+@st.composite
+def frames(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=20))
+    n_cols = draw(st.integers(min_value=1, max_value=5))
+    columns = []
+    for j in range(n_cols):
+        values = draw(
+            st.lists(
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=n_rows,
+                max_size=n_rows,
+            )
+        )
+        columns.append(Column(f"c{j}", np.asarray(values)))
+    return DataFrame(columns)
+
+
+class TestFrameProperties:
+    @SETTINGS
+    @given(frames())
+    def test_select_all_is_identity(self, frame):
+        assert frame.select(frame.columns) == frame
+
+    @SETTINGS
+    @given(frames())
+    def test_projection_preserves_lineage(self, frame):
+        projected = frame.select(frame.columns[:1])
+        assert projected.column_ids[frame.columns[0]] == frame.column_ids[frame.columns[0]]
+
+    @SETTINGS
+    @given(frames(), st.integers(min_value=0, max_value=100))
+    def test_sample_bounded_and_deterministic(self, frame, seed):
+        n = min(3, frame.num_rows)
+        a = frame.sample(n, random_state=seed)
+        b = frame.sample(n, random_state=seed)
+        assert a == b
+        assert a.num_rows == n
+
+    @SETTINGS
+    @given(frames())
+    def test_concat_rows_with_self_doubles(self, frame):
+        tall = DataFrame.concat_rows([frame, frame])
+        assert tall.num_rows == 2 * frame.num_rows
+        assert tall.columns == frame.columns
+
+    @SETTINGS
+    @given(frames())
+    def test_filter_true_keeps_all_rows_new_ids(self, frame):
+        kept = frame.filter(lambda f: np.ones(f.num_rows, dtype=bool), "all")
+        assert kept.num_rows == frame.num_rows
+        assert all(
+            kept.column_ids[c] != frame.column_ids[c] for c in frame.columns
+        )
+
+    @SETTINGS
+    @given(frames())
+    def test_nbytes_additive_over_columns(self, frame):
+        total = sum(frame.column(c).nbytes for c in frame.columns)
+        assert frame.nbytes == total
+
+    @SETTINGS
+    @given(column_values)
+    def test_groupby_sum_preserves_total(self, values):
+        n = len(values)
+        keys = np.arange(n) % 3
+        frame = DataFrame({"k": keys, "v": np.asarray(values)})
+        grouped = frame.groupby_agg("k", {"v": "sum"})
+        assert grouped.values("v_sum").sum() == pytest.approx(np.sum(values), rel=1e-9)
+
+
+class TestLineageProperties:
+    @SETTINGS
+    @given(st.text(min_size=1, max_size=20), st.text(min_size=1, max_size=20))
+    def test_derive_deterministic(self, op, col):
+        assert derive_column_id(op, col) == derive_column_id(op, col)
+
+    @SETTINGS
+    @given(
+        st.text(min_size=1, max_size=10),
+        st.dictionaries(
+            st.text(min_size=1, max_size=5),
+            st.integers(min_value=-100, max_value=100),
+            max_size=4,
+        ),
+    )
+    def test_operation_hash_param_order_free(self, name, params):
+        reordered = dict(reversed(list(params.items())))
+        assert operation_hash(name, params) == operation_hash(name, reordered)
+
+
+# ----------------------------------------------------------------------
+# Store invariants
+# ----------------------------------------------------------------------
+@st.composite
+def overlapping_frames(draw):
+    """Frames sharing lineage ids drawn from a small pool."""
+    pool = [f"lineage{i}" for i in range(6)]
+    n_frames = draw(st.integers(min_value=1, max_value=4))
+    out = []
+    for f in range(n_frames):
+        ids = draw(
+            st.lists(st.sampled_from(pool), min_size=1, max_size=4, unique=True)
+        )
+        columns = [Column(f"c{j}", np.zeros(8), cid) for j, cid in enumerate(ids)]
+        out.append((f"vertex{f}", DataFrame(columns)))
+    return out
+
+
+class TestDedupStoreProperties:
+    @SETTINGS
+    @given(overlapping_frames())
+    def test_physical_never_exceeds_logical(self, payloads):
+        store = DedupArtifactStore()
+        for vertex_id, frame in payloads:
+            store.put(vertex_id, frame)
+        assert store.total_bytes <= store.logical_bytes
+
+    @SETTINGS
+    @given(overlapping_frames())
+    def test_get_roundtrip(self, payloads):
+        store = DedupArtifactStore()
+        for vertex_id, frame in payloads:
+            store.put(vertex_id, frame)
+        for vertex_id, frame in payloads:
+            assert store.get(vertex_id) == frame
+
+    @SETTINGS
+    @given(overlapping_frames())
+    def test_remove_all_releases_everything(self, payloads):
+        store = DedupArtifactStore()
+        for vertex_id, frame in payloads:
+            store.put(vertex_id, frame)
+        for vertex_id, _ in payloads:
+            store.remove(vertex_id)
+        assert store.total_bytes == 0
+        assert store.vertex_ids == set()
+
+    @SETTINGS
+    @given(overlapping_frames())
+    def test_incremental_size_matches_actual(self, payloads):
+        store = DedupArtifactStore()
+        predicted = store.incremental_size(payloads)
+        actual = sum(store.put(vertex_id, frame) for vertex_id, frame in payloads)
+        assert predicted == actual
+
+
+# ----------------------------------------------------------------------
+# Planner optimality properties on random DAGs
+# ----------------------------------------------------------------------
+class _NoOp(DataOperation):
+    def __init__(self, index: int):
+        super().__init__("noop", params={"i": index})
+
+    def run(self, underlying_data):
+        return underlying_data
+
+
+@st.composite
+def planning_instances(draw):
+    """Random workload DAG + EG with random costs/material flags."""
+    n_nodes = draw(st.integers(min_value=3, max_value=25))
+    rng_seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(rng_seed)
+    dag = WorkloadDAG()
+    ids = [dag.add_source(f"s{rng_seed}")]
+    for index in range(n_nodes):
+        k = int(rng.integers(1, min(3, len(ids)) + 1))
+        parents = list(rng.choice(len(ids), size=k, replace=False))
+        out = dag.add_operation([ids[p] for p in sorted(parents)], _NoOp(index))
+        ids.append(out)
+    for vertex in dag.artifact_vertices():
+        if dag.graph.out_degree(vertex.vertex_id) == 0:
+            dag.mark_terminal(vertex.vertex_id)
+    eg = ExperimentGraph()
+    eg.union_workload(dag)
+    for record in eg.artifact_vertices():
+        if record.is_source:
+            continue
+        record.compute_time = float(rng.uniform(0.1, 10.0))
+        record.size = int(rng.integers(1, 20))
+        if rng.random() < 0.5:
+            record.materialized = True
+    return dag, eg
+
+
+UNIT_LOAD = LoadCostModel(bandwidth_bytes_per_s=1.0, latency_s=0.0)
+
+
+@st.composite
+def chain_planning_instances(draw):
+    """Chain-shaped instances, where the linear algorithm is exactly optimal.
+
+    No vertex is consumed by more than one child, so the forward pass's
+    per-parent cost sums cannot double-count a shared ancestor.
+    """
+    n_nodes = draw(st.integers(min_value=2, max_value=20))
+    rng_seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(rng_seed)
+    dag = WorkloadDAG()
+    current = dag.add_source(f"chain{rng_seed}")
+    for index in range(n_nodes):
+        current = dag.add_operation([current], _NoOp(index))
+    dag.mark_terminal(current)
+    eg = ExperimentGraph()
+    eg.union_workload(dag)
+    for record in eg.artifact_vertices():
+        if record.is_source:
+            continue
+        record.compute_time = float(rng.uniform(0.1, 10.0))
+        record.size = int(rng.integers(1, 20))
+        if rng.random() < 0.5:
+            record.materialized = True
+    return dag, eg
+
+
+class TestPlannerProperties:
+    @SETTINGS
+    @given(planning_instances())
+    def test_helix_mincut_is_never_worse(self, instance):
+        """The min-cut plan is globally optimal; LN is an upper bound.
+
+        The two differ only on diamond instances where a load decision's
+        benefit is double-counted by LN's forward pass (see the
+        reproduction note in repro/reuse/linear.py).
+        """
+        dag, eg = instance
+        plan_ln = LinearReuse(UNIT_LOAD).plan(dag, eg)
+        plan_hl = HelixReuse(UNIT_LOAD).plan(dag, eg)
+        assert plan_hl.estimated_cost <= plan_ln.estimated_cost + 1e-9
+
+    @SETTINGS
+    @given(chain_planning_instances())
+    def test_linear_matches_helix_on_chains(self, instance):
+        dag, eg = instance
+        plan_ln = LinearReuse(UNIT_LOAD).plan(dag, eg)
+        plan_hl = HelixReuse(UNIT_LOAD).plan(dag, eg)
+        assert plan_ln.estimated_cost == pytest.approx(plan_hl.estimated_cost)
+        assert plan_ln.loads == plan_hl.loads
+
+    @SETTINGS
+    @given(planning_instances())
+    def test_helix_never_worse_than_baselines(self, instance):
+        dag, eg = instance
+        optimal = HelixReuse(UNIT_LOAD).plan(dag, eg)
+        for baseline in (AllMaterializedReuse(UNIT_LOAD), NoReuse(UNIT_LOAD)):
+            plan = baseline.plan(dag, eg)
+            cost = plan.plan_cost(dag, eg, UNIT_LOAD)
+            assert optimal.estimated_cost <= cost + 1e-9
+
+    @SETTINGS
+    @given(chain_planning_instances())
+    def test_linear_never_worse_than_baselines_on_chains(self, instance):
+        dag, eg = instance
+        plan = LinearReuse(UNIT_LOAD).plan(dag, eg)
+        for baseline in (AllMaterializedReuse(UNIT_LOAD), NoReuse(UNIT_LOAD)):
+            cost = baseline.plan(dag, eg).plan_cost(dag, eg, UNIT_LOAD)
+            assert plan.estimated_cost <= cost + 1e-9
+
+    @SETTINGS
+    @given(planning_instances())
+    def test_loads_are_materialized_vertices(self, instance):
+        dag, eg = instance
+        plan = LinearReuse(UNIT_LOAD).plan(dag, eg)
+        assert all(eg.is_materialized(v) for v in plan.loads)
+
+    @SETTINGS
+    @given(planning_instances())
+    def test_execution_set_disjoint_from_loads(self, instance):
+        dag, eg = instance
+        plan = LinearReuse(UNIT_LOAD).plan(dag, eg)
+        assert not plan.loads & plan.execution_set(dag)
+
+
+# ----------------------------------------------------------------------
+# Materializer budget invariants
+# ----------------------------------------------------------------------
+@st.composite
+def materialization_instances(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    budget = draw(st.integers(min_value=0, max_value=4000))
+    rng = np.random.default_rng(seed)
+    dag = WorkloadDAG()
+    current = dag.add_source("src", payload=DataFrame({"x": np.zeros(2)}))
+    available = {}
+    pool = [f"shared{i}" for i in range(5)]
+    for index in range(int(rng.integers(2, 8))):
+        current = dag.add_operation([current], _NoOp(index))
+        ids = list(rng.choice(pool, size=int(rng.integers(1, 4)), replace=False))
+        payload = DataFrame([Column(f"c{j}", np.zeros(16), cid) for j, cid in enumerate(ids)])
+        dag.vertex(current).record_result(payload, compute_time=float(rng.uniform(1, 5)))
+        available[current] = payload
+    dag.mark_terminal(current)
+    eg = ExperimentGraph()
+    eg.union_workload(dag)
+    return eg, available, budget
+
+
+FAST_LOAD = LoadCostModel(bandwidth_bytes_per_s=1e12, latency_s=0.0)
+
+
+class TestMaterializerProperties:
+    @SETTINGS
+    @given(materialization_instances())
+    def test_hm_logical_budget_respected(self, instance):
+        eg, available, budget = instance
+        selected = HeuristicMaterializer(budget, load_cost_model=FAST_LOAD).select(
+            eg, available
+        )
+        total = sum(payload_size_bytes(available[v]) for v in selected)
+        assert total <= budget
+
+    @SETTINGS
+    @given(materialization_instances())
+    def test_sa_physical_budget_respected(self, instance):
+        eg, available, budget = instance
+        selected = StorageAwareMaterializer(budget, load_cost_model=FAST_LOAD).select(
+            eg, available
+        )
+        store = DedupArtifactStore()
+        physical = sum(store.put(v, available[v]) for v in selected)
+        assert physical <= budget
+
+    @SETTINGS
+    @given(materialization_instances())
+    def test_sa_selects_superset_of_nothing_with_zero_budget(self, instance):
+        eg, available, _budget = instance
+        selected = StorageAwareMaterializer(0, load_cost_model=FAST_LOAD).select(
+            eg, available
+        )
+        assert selected == set()
+
+    @SETTINGS
+    @given(materialization_instances())
+    def test_selection_subset_of_available(self, instance):
+        eg, available, budget = instance
+        for strategy in (
+            HeuristicMaterializer(budget, load_cost_model=FAST_LOAD),
+            StorageAwareMaterializer(budget, load_cost_model=FAST_LOAD),
+        ):
+            assert strategy.select(eg, available) <= set(available)
+
+
+# ----------------------------------------------------------------------
+# Max-flow against networkx
+# ----------------------------------------------------------------------
+@st.composite
+def flow_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=1, max_value=20),
+            ),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    return n, [(u, v, c) for u, v, c in edges if u != v]
+
+
+class TestMaxFlowProperties:
+    @SETTINGS
+    @given(flow_graphs())
+    def test_matches_networkx(self, graph):
+        import networkx as nx
+
+        n, edges = graph
+        ours = FlowNetwork()
+        reference = nx.DiGraph()
+        for u, v, c in edges:
+            ours.add_edge(u, v, float(c))
+        for u, v, c in edges:
+            if reference.has_edge(u, v):
+                reference[u][v]["capacity"] += c
+            else:
+                reference.add_edge(u, v, capacity=c)
+        reference.add_node(0)
+        reference.add_node(n - 1)
+        expected = (
+            nx.maximum_flow_value(reference, 0, n - 1)
+            if reference.has_node(0) and reference.has_node(n - 1)
+            else 0.0
+        )
+        assert ours.max_flow(0, n - 1) == pytest.approx(float(expected))
+
+
+# ----------------------------------------------------------------------
+# Metric and scaler properties
+# ----------------------------------------------------------------------
+class TestExtendedFrameProperties:
+    @SETTINGS
+    @given(frames(), st.floats(min_value=-100, max_value=100))
+    def test_clip_bounds_respected(self, frame, bound):
+        name = frame.columns[0]
+        clipped = frame.clip_column(name, upper=bound)
+        assert clipped.values(name).max() <= max(bound, frame.values(name).min())
+
+    @SETTINGS
+    @given(frames())
+    def test_cut_assigns_every_row_a_bin(self, frame):
+        name = frame.columns[0]
+        out = frame.cut_column(name, bins=[-1e7, 0.0, 1e7])
+        bins = out.values(f"{name}_bin")
+        assert set(np.unique(bins)) <= {0, 1}
+        assert len(bins) == frame.num_rows
+
+    @SETTINGS
+    @given(frames())
+    def test_value_counts_total(self, frame):
+        name = frame.columns[0]
+        counts = frame.value_counts(name)
+        assert counts.values("count").sum() == frame.num_rows
+
+    @SETTINGS
+    @given(frames())
+    def test_drop_duplicates_idempotent(self, frame):
+        once = frame.drop_duplicates()
+        twice = once.drop_duplicates()
+        assert once.num_rows == twice.num_rows
+
+    @SETTINGS
+    @given(column_values)
+    def test_multikey_groupby_preserves_sum(self, values):
+        n = len(values)
+        frame = DataFrame(
+            {
+                "k1": np.arange(n) % 2,
+                "k2": np.arange(n) % 3,
+                "v": np.asarray(values),
+            }
+        )
+        grouped = frame.groupby_agg(["k1", "k2"], {"v": "sum"})
+        assert grouped.values("v_sum").sum() == pytest.approx(np.sum(values), rel=1e-9)
+
+
+class TestKMeansProperties:
+    @SETTINGS
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_invariants(self, k, seed):
+        from repro.ml import KMeans
+
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 3))
+        model = KMeans(n_clusters=k, random_state=seed).fit(X)
+        assert model.labels_.min() >= 0 and model.labels_.max() < k
+        assert model.inertia_ >= 0.0
+        # predict agrees with the nearest column of transform
+        distances = model.transform(X)
+        assert np.array_equal(np.argmin(distances, axis=1), model.predict(X))
+
+
+class TestMetricProperties:
+    @SETTINGS
+    @given(
+        st.lists(st.booleans(), min_size=4, max_size=50).filter(
+            lambda labels: 0 < sum(labels) < len(labels)
+        ),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_auc_label_flip_antisymmetry(self, labels, seed):
+        y = np.asarray(labels, dtype=int)
+        scores = np.random.default_rng(seed).random(len(y))
+        auc = roc_auc_score(y, scores)
+        flipped = roc_auc_score(1 - y, scores)
+        assert auc + flipped == pytest.approx(1.0)
+
+    @SETTINGS
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=50))
+    def test_accuracy_of_self_is_one(self, labels):
+        y = np.asarray(labels)
+        assert accuracy_score(y, y) == 1.0
+
+    @SETTINGS
+    @given(frames())
+    def test_standard_scaler_inverse_roundtrip(self, frame):
+        X = frame.to_numpy()
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-6)
