@@ -23,6 +23,7 @@ from .eg import (
     ExperimentGraph,
     LoadCostModel,
     SimpleArtifactStore,
+    StorageTier,
     Updater,
 )
 from .graph import (
@@ -41,6 +42,7 @@ from .materialization import (
 )
 from .reuse import AllMaterializedReuse, HelixReuse, LinearReuse, NoReuse
 from .server import CollaborativeOptimizer
+from .storage import TieredArtifactStore, TieredLoadCostModel
 
 __version__ = "1.0.0"
 
@@ -58,7 +60,10 @@ __all__ = [
     "ExperimentGraph",
     "SimpleArtifactStore",
     "DedupArtifactStore",
+    "TieredArtifactStore",
     "LoadCostModel",
+    "TieredLoadCostModel",
+    "StorageTier",
     "Updater",
     "WorkloadDAG",
     "ArtifactType",

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..eg.graph import ExperimentGraph
-from ..eg.storage import LoadCostModel
+from ..eg.storage import LoadCostModel, StorageTier
 from ..graph.artifacts import artifact_meta
 from ..graph.dag import WorkloadDAG
 from ..graph.operations import Operation, TrainOperation
@@ -59,6 +59,8 @@ class ExecutionReport:
     load_time: float = 0.0
     executed_vertices: int = 0
     loaded_vertices: int = 0
+    #: subset of ``loaded_vertices`` served from the store's cold (disk) tier
+    cold_loaded_vertices: int = 0
     warmstarted_vertices: int = 0
     #: seconds the optimizer spent planning (filled in by the server)
     optimizer_overhead: float = 0.0
@@ -66,6 +68,9 @@ class ExecutionReport:
     terminal_values: dict[str, Any] = field(default_factory=dict)
     #: quality of every model trained in this run, by vertex id
     model_qualities: dict[str, float] = field(default_factory=dict)
+    #: artifact-store snapshot after the updater ran (bytes per tier,
+    #: hit/promotion/demotion counters for tiered stores)
+    store_stats: dict[str, Any] = field(default_factory=dict)
 
 
 class Executor:
@@ -150,6 +155,9 @@ class Executor:
             vertex = workload.vertex(vertex_id)
             if vertex.computed:
                 continue
+            # the tier must be read before the load: retrieving a cold
+            # artifact promotes it back into the hot tier
+            tier = eg.tier_of(vertex_id)
             payload = eg.load(vertex_id)
             record = eg.vertex(vertex_id)
             vertex.data = payload
@@ -157,7 +165,9 @@ class Executor:
             vertex.size = record.size
             vertex.meta = record.meta if record.meta is not None else artifact_meta(payload)
             report.loaded_vertices += 1
-            report.load_time += self.load_cost_model.cost(record.size)
+            if tier is StorageTier.COLD:
+                report.cold_loaded_vertices += 1
+            report.load_time += self.load_cost_model.cost_for_tier(record.size, tier)
 
     def _input_payloads(self, workload: WorkloadDAG, vertex_id: str) -> list[Any]:
         payloads = []

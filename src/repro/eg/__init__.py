@@ -1,12 +1,14 @@
 """Experiment Graph: artifact meta-data graph, content stores, updater."""
 
 from .graph import EGVertex, ExperimentGraph
-from .persistence import load_eg, save_eg
+from .persistence import EGPersistenceError, load_eg, save_eg
 from .storage import (
+    ArtifactDivergenceError,
     ArtifactStore,
     DedupArtifactStore,
     LoadCostModel,
     SimpleArtifactStore,
+    StorageTier,
 )
 from .updater import Updater, UpdateReport
 
@@ -14,11 +16,14 @@ __all__ = [
     "EGVertex",
     "ExperimentGraph",
     "ArtifactStore",
+    "ArtifactDivergenceError",
     "SimpleArtifactStore",
     "DedupArtifactStore",
     "LoadCostModel",
+    "StorageTier",
     "Updater",
     "UpdateReport",
     "save_eg",
     "load_eg",
+    "EGPersistenceError",
 ]

@@ -17,7 +17,7 @@ import networkx as nx
 
 from ..graph.artifacts import ArtifactMeta, ArtifactType
 from ..graph.dag import WorkloadDAG
-from .storage import ArtifactStore, SimpleArtifactStore
+from .storage import ArtifactStore, SimpleArtifactStore, StorageTier
 
 __all__ = ["EGVertex", "ExperimentGraph"]
 
@@ -237,6 +237,24 @@ class ExperimentGraph:
     def load(self, vertex_id: str) -> object:
         """Retrieve a materialized vertex's content."""
         return self.store.get(vertex_id)
+
+    def tier_of(self, vertex_id: str) -> StorageTier:
+        """The storage tier a vertex's content resides in.
+
+        Tier-aware cost models charge cold (on-disk) artifacts at disk
+        bandwidth.  Vertices the store does not hold are reported HOT so
+        tier-oblivious callers and meta-only vertices keep the historical
+        pricing.
+        """
+        try:
+            return self.store.tier_of(vertex_id)
+        except KeyError:
+            return StorageTier.HOT
+
+    def store_statistics(self) -> dict:
+        """Instrumentation snapshot of the artifact store (bytes per tier,
+        hit/promotion/demotion counters for tiered stores)."""
+        return self.store.statistics()
 
     # ------------------------------------------------------------------
     # Warmstarting support (paper Section 6.2)

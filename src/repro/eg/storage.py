@@ -11,11 +11,16 @@ operation that touches a single column costs only that column's bytes extra.
 
 :class:`LoadCostModel` converts a stored size into the retrieval cost
 ``C_l(v)`` used by the materializer and reuse algorithms; presets model an
-in-memory, on-disk, or remote Experiment Graph.
+in-memory, on-disk, or remote Experiment Graph.  Stores additionally report
+the :class:`StorageTier` an artifact resides in (the tiered store in
+:mod:`repro.storage` keeps a hot RAM tier and a cold disk tier), and
+``cost_for_tier`` lets tier-aware cost models price a cold hit at disk
+bandwidth instead of RAM bandwidth.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import Any, Iterable
 
@@ -23,11 +28,30 @@ from ..dataframe import Column, DataFrame
 from ..graph.artifacts import payload_size_bytes
 
 __all__ = [
+    "StorageTier",
     "LoadCostModel",
     "ArtifactStore",
+    "ArtifactDivergenceError",
     "SimpleArtifactStore",
     "DedupArtifactStore",
 ]
+
+
+class StorageTier(enum.Enum):
+    """Where an artifact's content physically lives."""
+
+    HOT = "hot"  # process memory
+    COLD = "cold"  # local disk
+
+
+class ArtifactDivergenceError(ValueError):
+    """A vertex id was re-put with a payload different from the stored one.
+
+    Vertex ids are content-addressed (source + operation chain), so two
+    different payloads under one id mean lineage hashing broke somewhere
+    upstream; silently keeping the first copy would corrupt size accounting
+    and serve stale artifacts, so stores raise instead.
+    """
 
 
 @dataclass(frozen=True)
@@ -45,6 +69,16 @@ class LoadCostModel:
         if size_bytes < 0:
             raise ValueError("size must be non-negative")
         return self.latency_s + size_bytes / self.bandwidth_bytes_per_s
+
+    def cost_for_tier(self, size_bytes: int, tier: StorageTier) -> float:
+        """Retrieval cost for an artifact residing in the given tier.
+
+        The base model is tier-oblivious (one bandwidth/latency pair for
+        the whole store); :class:`repro.storage.TieredLoadCostModel`
+        overrides this to charge cold-tier hits at disk speed.
+        """
+        del tier
+        return self.cost(size_bytes)
 
     @classmethod
     def in_memory(cls) -> "LoadCostModel":
@@ -89,6 +123,78 @@ class ArtifactStore:
         """Bytes that storing the given payloads *would* add (dry run)."""
         raise NotImplementedError
 
+    def tier_of(self, vertex_id: str) -> StorageTier:
+        """The tier a stored artifact resides in; purely-RAM stores are HOT."""
+        if vertex_id not in self:
+            raise KeyError(f"vertex {vertex_id[:12]} is not materialized")
+        return StorageTier.HOT
+
+    def statistics(self) -> dict[str, Any]:
+        """Instrumentation snapshot (bytes per tier, hit counters, ...).
+
+        The experiment runner records this after every workload; tiered
+        stores extend it with hit/miss/promotion/demotion counters.
+        """
+        total = self.total_bytes
+        return {
+            "store_type": type(self).__name__,
+            "total_bytes": total,
+            "hot_bytes": total,
+            "cold_bytes": 0,
+            "vertices": len(self.vertex_ids),
+        }
+
+
+def frame_signature_of(payload: DataFrame) -> list[tuple[str, int]]:
+    """The (column name, byte size) signature used for divergence checks.
+
+    Lineage ids are deliberately *not* part of the signature: a second run
+    of the same workload rebuilds its source frames with fresh lineage ids,
+    so identical content legitimately arrives under new ids.
+    """
+    return [(name, payload.column(name).nbytes) for name in payload.columns]
+
+
+def check_not_divergent(
+    vertex_id: str,
+    existing_signature: Any,
+    payload: Any,
+) -> None:
+    """Raise :class:`ArtifactDivergenceError` if a re-put payload differs.
+
+    ``existing_signature`` is either a frame signature (list of (name,
+    nbytes) pairs) or an integer byte size for non-frame payloads.  Both
+    are cheap conservative proxies for content: a divergent schema or size
+    is definitely a divergent artifact, while byte-identical divergence
+    (same names, same sizes, different values) is not caught — vertex ids
+    hash the operation chain, so that case indicates a non-deterministic
+    operation rather than a store misuse.
+    """
+    if isinstance(existing_signature, list):
+        if not isinstance(payload, DataFrame):
+            raise ArtifactDivergenceError(
+                f"vertex {vertex_id[:12]} was stored as a dataframe but re-put "
+                f"with a {type(payload).__name__} payload"
+            )
+        signature = frame_signature_of(payload)
+        if signature != existing_signature:
+            raise ArtifactDivergenceError(
+                f"vertex {vertex_id[:12]} re-put with different columns: "
+                f"stored {existing_signature}, got {signature}"
+            )
+        return
+    if isinstance(payload, DataFrame):
+        raise ArtifactDivergenceError(
+            f"vertex {vertex_id[:12]} was stored as a "
+            f"non-frame payload but re-put with a dataframe"
+        )
+    size = payload_size_bytes(payload)
+    if size != existing_signature:
+        raise ArtifactDivergenceError(
+            f"vertex {vertex_id[:12]} re-put with a different payload: "
+            f"stored {existing_signature} bytes, got {size}"
+        )
+
 
 class SimpleArtifactStore(ArtifactStore):
     """Whole-artifact storage without deduplication (used by HM and Helix)."""
@@ -99,6 +205,13 @@ class SimpleArtifactStore(ArtifactStore):
 
     def put(self, vertex_id: str, payload: Any) -> int:
         if vertex_id in self._payloads:
+            existing = self._payloads[vertex_id]
+            signature = (
+                frame_signature_of(existing)
+                if isinstance(existing, DataFrame)
+                else self._sizes[vertex_id]
+            )
+            check_not_divergent(vertex_id, signature, payload)
             return 0
         size = payload_size_bytes(payload)
         self._payloads[vertex_id] = payload
@@ -156,6 +269,14 @@ class DedupArtifactStore(ArtifactStore):
 
     def put(self, vertex_id: str, payload: Any) -> int:
         if vertex_id in self:
+            if vertex_id in self._frame_layout:
+                signature: Any = [
+                    (name, self._columns[column_id][0].nbytes)
+                    for name, column_id in self._frame_layout[vertex_id]
+                ]
+            else:
+                signature = self._object_sizes[vertex_id]
+            check_not_divergent(vertex_id, signature, payload)
             return 0
         if not isinstance(payload, DataFrame):
             size = payload_size_bytes(payload)

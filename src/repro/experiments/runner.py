@@ -26,6 +26,7 @@ from ..materialization import (
 from ..materialization.storage_aware import StorageAwareMaterializer
 from ..reuse import AllMaterializedReuse, HelixReuse, LinearReuse, NoReuse
 from ..server.service import CollaborativeOptimizer
+from ..storage import TieredArtifactStore, TieredLoadCostModel
 
 __all__ = [
     "PAPER_TOTAL_ARTIFACT_GB",
@@ -41,6 +42,7 @@ PAPER_TOTAL_ARTIFACT_GB = 130.0
 
 _MATERIALIZERS = ("SA", "HM", "HL", "ALL", "NONE")
 _REUSERS = ("LN", "HL", "ALL_M", "ALL_C")
+_STORES = ("simple", "dedup", "tiered")
 
 
 def scaled_budget(paper_gb: float, total_artifact_bytes: int) -> float:
@@ -59,31 +61,57 @@ def make_optimizer(
     load_cost_model: LoadCostModel | None = None,
     cost_model: WallClockCostModel | VirtualCostModel | None = None,
     max_artifacts: int | None = None,
+    store: str | None = None,
+    hot_budget_bytes: float | None = None,
+    store_directory: str | None = None,
 ) -> CollaborativeOptimizer:
-    """Build an optimizer for a (materializer, reuse) strategy pair."""
+    """Build an optimizer for a (materializer, reuse) strategy pair.
+
+    ``store`` overrides the store type the materializer implies:
+    ``"simple"``, ``"dedup"``, or ``"tiered"`` — the latter bounds RAM at
+    ``hot_budget_bytes`` with a disk cold tier under ``store_directory``
+    (a temp directory when omitted) and defaults the load-cost model to
+    the tier-aware one so cold hits are priced at disk bandwidth.
+    """
     if materializer not in _MATERIALIZERS:
         raise ValueError(f"unknown materializer {materializer!r}; have {_MATERIALIZERS}")
     if reuse not in _REUSERS:
         raise ValueError(f"unknown reuse algorithm {reuse!r}; have {_REUSERS}")
-    lcm = load_cost_model if load_cost_model is not None else LoadCostModel.in_memory()
+    if store is not None and store not in _STORES:
+        raise ValueError(f"unknown store {store!r}; have {_STORES}")
+    if load_cost_model is not None:
+        lcm = load_cost_model
+    elif store == "tiered":
+        lcm = TieredLoadCostModel.default()
+    else:
+        lcm = LoadCostModel.in_memory()
 
     if materializer == "SA":
         strategy = StorageAwareMaterializer(budget_bytes, alpha=alpha, load_cost_model=lcm)
-        store = DedupArtifactStore()
+        content_store = DedupArtifactStore()
     elif materializer == "HM":
         strategy = HeuristicMaterializer(
             budget_bytes, alpha=alpha, load_cost_model=lcm, max_artifacts=max_artifacts
         )
-        store = SimpleArtifactStore()
+        content_store = SimpleArtifactStore()
     elif materializer == "HL":
         strategy = HelixMaterializer(budget_bytes, load_cost_model=lcm)
-        store = SimpleArtifactStore()
+        content_store = SimpleArtifactStore()
     elif materializer == "ALL":
         strategy = MaterializeAll()
-        store = SimpleArtifactStore()
+        content_store = SimpleArtifactStore()
     else:  # NONE
         strategy = MaterializeNone()
-        store = SimpleArtifactStore()
+        content_store = SimpleArtifactStore()
+
+    if store == "simple":
+        content_store = SimpleArtifactStore()
+    elif store == "dedup":
+        content_store = DedupArtifactStore()
+    elif store == "tiered":
+        content_store = TieredArtifactStore(
+            hot_budget_bytes=hot_budget_bytes, directory=store_directory
+        )
 
     if reuse == "LN":
         reuser = LinearReuse(lcm)
@@ -97,7 +125,7 @@ def make_optimizer(
     return CollaborativeOptimizer(
         materializer=strategy,
         reuse_algorithm=reuser,
-        store=store,
+        store=content_store,
         load_cost_model=lcm,
         warmstarting=warmstarting,
         cost_model=cost_model,
@@ -113,10 +141,18 @@ class SequenceResult:
     physical_bytes: list[int] = field(default_factory=list)
     #: logical ("real", pre-dedup) stored bytes after each workload
     logical_bytes: list[int] = field(default_factory=list)
+    #: store instrumentation snapshot after each workload (bytes per tier,
+    #: hit ratio, promotion/demotion counters for tiered stores) — bench
+    #: JSON records these to track storage behaviour across PRs
+    store_stats: list[dict] = field(default_factory=list)
 
     @property
     def times(self) -> list[float]:
         return [r.total_time for r in self.reports]
+
+    @property
+    def final_store_stats(self) -> dict:
+        return self.store_stats[-1] if self.store_stats else {}
 
     @property
     def cumulative_times(self) -> list[float]:
@@ -143,6 +179,7 @@ def run_sequence(
         result.reports.append(report)
         result.physical_bytes.append(optimizer.eg.store.total_bytes)
         result.logical_bytes.append(optimizer.eg.materialized_artifact_bytes())
+        result.store_stats.append(optimizer.eg.store_statistics())
     return result
 
 

@@ -14,13 +14,14 @@ exceeds their recreation cost get zero utility and are never materialized.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, Mapping
 
 from ..eg.graph import ExperimentGraph
 from ..eg.storage import LoadCostModel
 
-__all__ = ["Materializer", "VertexUtility", "compute_utilities"]
+__all__ = ["Materializer", "VertexUtility", "compute_utilities", "utility_heap"]
 
 
 @dataclass
@@ -63,12 +64,17 @@ def compute_utilities(
         cr = recreation[vertex.vertex_id]
         size = max(vertex.size, 1)
         rcs = vertex.frequency * cr / (size / 1e6)  # seconds per MB, per paper
+        # materialized vertices are priced at the tier they currently occupy
+        # (a demoted artifact loads at disk speed); candidates for *new*
+        # materialization land in the hot tier, which tier_of defaults to
         rows.append(
             VertexUtility(
                 vertex_id=vertex.vertex_id,
                 potential=potential[vertex.vertex_id],
                 recreation_cost=cr,
-                load_cost=load_cost_model.cost(vertex.size),
+                load_cost=load_cost_model.cost_for_tier(
+                    vertex.size, eg.tier_of(vertex.vertex_id)
+                ),
                 cost_size_ratio=rcs,
                 size=vertex.size,
                 utility=0.0,
@@ -85,6 +91,25 @@ def compute_utilities(
         r_norm = row.cost_size_ratio / total_rcs if total_rcs > 0 else 0.0
         row.utility = alpha * p_norm + (1.0 - alpha) * r_norm
     return {row.vertex_id: row for row in rows}
+
+
+def utility_heap(
+    utilities: Mapping[str, VertexUtility], available: Mapping[str, Any]
+) -> list[tuple[float, float, str]]:
+    """Max-heap of available positive-utility candidates.
+
+    Entries are ``(-utility, -recreation_cost, vertex_id)``: equal
+    utilities (e.g. a model and its ancestors under alpha=1) prefer the
+    costliest to recreate, then the vertex id for determinism.  Shared by
+    the greedy (HM) and storage-aware (SA) materializers.
+    """
+    heap = [
+        (-row.utility, -row.recreation_cost, vertex_id)
+        for vertex_id, row in utilities.items()
+        if vertex_id in available and row.utility > 0.0
+    ]
+    heapq.heapify(heap)
+    return heap
 
 
 class Materializer:

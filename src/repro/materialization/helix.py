@@ -58,7 +58,9 @@ class HelixMaterializer(Materializer):
                     continue
                 if vertex_id in selected or vertex_id not in available:
                     continue
-                load_cost = self.load_cost_model.cost(vertex.size)
+                load_cost = self.load_cost_model.cost_for_tier(
+                    vertex.size, eg.tier_of(vertex_id)
+                )
                 if recreation[vertex_id] <= self.cost_ratio * load_cost:
                     continue
                 if self.budget_bytes is not None and spent + vertex.size > self.budget_bytes:

@@ -14,7 +14,7 @@ from typing import Any, Mapping
 
 from ..eg.graph import ExperimentGraph
 from ..eg.storage import LoadCostModel
-from .base import Materializer, compute_utilities
+from .base import Materializer, compute_utilities, utility_heap
 
 __all__ = ["HeuristicMaterializer"]
 
@@ -44,16 +44,7 @@ class HeuristicMaterializer(Materializer):
 
     def select(self, eg: ExperimentGraph, available: Mapping[str, Any]) -> set[str]:
         utilities = compute_utilities(eg, self.load_cost_model, self.alpha)
-
-        heap: list[tuple[float, float, str]] = []
-        for vertex_id, row in utilities.items():
-            if vertex_id not in available:
-                continue
-            if row.utility <= 0.0:
-                continue
-            # max-heap via negated utility; equal utilities (e.g. a model and
-            # its ancestors under alpha=1) prefer the costliest to recreate
-            heapq.heappush(heap, (-row.utility, -row.recreation_cost, vertex_id))
+        heap = utility_heap(utilities, available)
 
         selected: set[str] = set()
         spent = 0.0

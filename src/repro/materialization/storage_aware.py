@@ -21,7 +21,7 @@ from ..dataframe import DataFrame
 from ..eg.graph import ExperimentGraph
 from ..eg.storage import LoadCostModel
 from ..graph.artifacts import payload_size_bytes
-from .base import Materializer, compute_utilities
+from .base import Materializer, compute_utilities, utility_heap
 
 __all__ = ["StorageAwareMaterializer"]
 
@@ -79,19 +79,7 @@ class StorageAwareMaterializer(Materializer):
 
     def select(self, eg: ExperimentGraph, available: Mapping[str, Any]) -> set[str]:
         utilities = compute_utilities(eg, self.load_cost_model, self.alpha)
-
-        candidates = [
-            (vertex_id, row)
-            for vertex_id, row in utilities.items()
-            if vertex_id in available and row.utility > 0.0
-        ]
-        # max-heap ordered by utility; equal utilities prefer the costliest
-        # to recreate, then the vertex id for determinism
-        heap = [
-            (-row.utility, -row.recreation_cost, vertex_id)
-            for vertex_id, row in candidates
-        ]
-        heapq.heapify(heap)
+        heap = utility_heap(utilities, available)
 
         selected: set[str] = set()
         footprint = _DedupFootprint()

@@ -41,8 +41,8 @@ class AllMaterializedReuse:
                 continue
             if not vertex.is_supernode and eg.is_materialized(vertex_id):
                 loads.add(vertex_id)
-                recreation[vertex_id] = self.load_cost_model.cost(
-                    eg.vertex(vertex_id).size
+                recreation[vertex_id] = self.load_cost_model.cost_for_tier(
+                    eg.vertex(vertex_id).size, eg.tier_of(vertex_id)
                 )
                 continue  # loading cuts off everything above
             stack.extend(workload.parents(vertex_id))

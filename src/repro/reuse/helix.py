@@ -60,7 +60,9 @@ class HelixReuse:
                 record = eg.vertex(vertex_id)
                 ci = record.compute_time
                 cl = (
-                    self.load_cost_model.cost(record.size)
+                    self.load_cost_model.cost_for_tier(
+                        record.size, eg.tier_of(vertex_id)
+                    )
                     if record.materialized
                     else None
                 )

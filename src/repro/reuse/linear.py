@@ -84,9 +84,15 @@ class LinearReuse:
             return _INF, _INF  # never seen: EG has no prior information
         record = eg.vertex(vertex_id)
         compute = record.compute_time
-        load = (
-            self.load_cost_model.cost(record.size) if record.materialized else _INF
-        )
+        if record.materialized:
+            # price the load at the tier the artifact currently resides in:
+            # a cold (demoted-to-disk) artifact costs disk bandwidth, which
+            # can flip the load-vs-recompute decision
+            load = self.load_cost_model.cost_for_tier(
+                record.size, eg.tier_of(vertex_id)
+            )
+        else:
+            load = _INF
         return compute, load
 
     def _forward_pass(

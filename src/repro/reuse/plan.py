@@ -35,7 +35,9 @@ class ReusePlan:
         total = 0.0
         for vertex_id in self.loads:
             if vertex_id in eg:
-                total += load_cost_model.cost(eg.vertex(vertex_id).size)
+                total += load_cost_model.cost_for_tier(
+                    eg.vertex(vertex_id).size, eg.tier_of(vertex_id)
+                )
         for vertex_id in self.execution_set(workload):
             if vertex_id in eg:
                 total += eg.vertex(vertex_id).compute_time

@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..eg.graph import ExperimentGraph
+from ..eg.storage import StorageTier
 from ..graph.dag import WorkloadDAG
 from ..reuse.plan import ReusePlan
 from ..reuse.warmstart import WarmstartAssignment, find_warmstart_assignments
@@ -27,6 +28,14 @@ class OptimizationResult:
     warmstarts: list[WarmstartAssignment] = field(default_factory=list)
     #: seconds spent inside the reuse algorithm (Figure 9d's overhead)
     planning_seconds: float = 0.0
+    #: tier each planned load resides in at planning time — the placement
+    #: the reuse algorithm priced, recorded for observability (the client
+    #: re-reads tiers at execution time; they can only have warmed since)
+    load_tiers: dict[str, StorageTier] = field(default_factory=dict)
+
+    @property
+    def planned_cold_loads(self) -> int:
+        return sum(1 for tier in self.load_tiers.values() if tier is StorageTier.COLD)
 
 
 class Optimizer:
@@ -54,6 +63,12 @@ class Optimizer:
             warmstarts = find_warmstart_assignments(
                 workload, self.eg, plan, policy=self.warmstart_policy
             )
+        load_tiers = {
+            vertex_id: self.eg.tier_of(vertex_id) for vertex_id in plan.loads
+        }
         return OptimizationResult(
-            plan=plan, warmstarts=warmstarts, planning_seconds=planning_seconds
+            plan=plan,
+            warmstarts=warmstarts,
+            planning_seconds=planning_seconds,
+            load_tiers=load_tiers,
         )

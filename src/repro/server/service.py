@@ -32,6 +32,7 @@ from ..eg.updater import Updater, UpdateReport
 from ..graph.pruning import prune_workload
 from ..materialization.base import Materializer
 from ..reuse.linear import LinearReuse
+from ..storage import TieredArtifactStore, TieredLoadCostModel
 from .optimizer import Optimizer
 
 __all__ = ["CollaborativeOptimizer"]
@@ -50,9 +51,15 @@ class CollaborativeOptimizer:
         warmstart_policy: str = "best_quality",
         cost_model: WallClockCostModel | VirtualCostModel | None = None,
     ):
-        self.load_cost_model = (
-            load_cost_model if load_cost_model is not None else LoadCostModel.in_memory()
-        )
+        if load_cost_model is None:
+            # a tiered store's cold hits must be priced at disk bandwidth,
+            # or its reuse plans would assume RAM speed for demoted artifacts
+            load_cost_model = (
+                TieredLoadCostModel.default()
+                if isinstance(store, TieredArtifactStore)
+                else LoadCostModel.in_memory()
+            )
+        self.load_cost_model = load_cost_model
         self.eg = ExperimentGraph(store)
         self.materializer = materializer
         self.reuse_algorithm = (
@@ -93,6 +100,7 @@ class CollaborativeOptimizer:
         report.total_time += result.planning_seconds
 
         self.last_update_report = self.updater.update(workload)
+        report.store_stats = self.eg.store_statistics()
         return report
 
     # ------------------------------------------------------------------

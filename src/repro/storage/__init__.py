@@ -1,0 +1,24 @@
+"""Tiered artifact storage: RAM hot tier, disk cold tier, tier-aware costs.
+
+This subsystem sits between the Experiment Graph and the filesystem.  The
+in-memory stores in :mod:`repro.eg.storage` keep every materialized payload
+in RAM, so the load costs the planner optimizes against never correspond to
+where bytes actually live; :class:`TieredArtifactStore` bounds RAM usage
+with an LRU hot tier over a manifest-driven on-disk cold tier, reports the
+tier each artifact resides in, and :class:`TieredLoadCostModel` prices cold
+hits at disk bandwidth so reuse and materialization decisions reflect real
+retrieval costs.
+"""
+
+from .costs import TieredLoadCostModel
+from .disk import DiskColdTier
+from .tiered import TieredArtifactStore
+from .tiers import StorageTier, TierStats
+
+__all__ = [
+    "StorageTier",
+    "TierStats",
+    "DiskColdTier",
+    "TieredArtifactStore",
+    "TieredLoadCostModel",
+]

@@ -1,0 +1,41 @@
+"""Tier-aware retrieval cost model.
+
+The planner and materializers price artifact retrieval through
+``LoadCostModel.cost_for_tier``; the base model ignores the tier (one
+bandwidth/latency pair for the whole store).  :class:`TieredLoadCostModel`
+keeps the base parameters for the hot tier and a second
+:class:`~repro.eg.storage.LoadCostModel` for cold hits, so a reuse plan
+over a :class:`~repro.storage.tiered.TieredArtifactStore` charges demoted
+artifacts at disk bandwidth — loading a cold artifact can lose to
+recomputing it, which the tier-oblivious model could never express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..eg.storage import LoadCostModel, StorageTier
+
+__all__ = ["TieredLoadCostModel"]
+
+
+@dataclass(frozen=True)
+class TieredLoadCostModel(LoadCostModel):
+    """Hot-tier cost from the base fields, cold-tier cost from ``cold``."""
+
+    cold: LoadCostModel = field(default_factory=LoadCostModel.on_disk)
+
+    def cost_for_tier(self, size_bytes: int, tier: StorageTier) -> float:
+        if tier is StorageTier.COLD:
+            return self.cold.cost(size_bytes)
+        return self.cost(size_bytes)
+
+    @classmethod
+    def default(cls) -> "TieredLoadCostModel":
+        """RAM-speed hot tier over a local-disk cold tier."""
+        hot = LoadCostModel.in_memory()
+        return cls(
+            bandwidth_bytes_per_s=hot.bandwidth_bytes_per_s,
+            latency_s=hot.latency_s,
+            cold=LoadCostModel.on_disk(),
+        )

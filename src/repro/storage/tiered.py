@@ -1,0 +1,412 @@
+"""Budget-bounded hot tier over a disk cold tier, with LRU movement.
+
+:class:`TieredArtifactStore` implements the full
+:class:`~repro.eg.storage.ArtifactStore` contract while bounding how much
+artifact content may live in RAM.  Payloads enter the hot tier; when hot
+bytes exceed ``hot_budget_bytes`` the least-recently-used vertices are
+*demoted* — their columns/objects are written to the
+:class:`~repro.storage.disk.DiskColdTier` and dropped from RAM.  A ``get``
+of a cold vertex reads it back from disk and *promotes* it (the read is a
+"cold hit", counted and timed in :class:`~repro.storage.tiers.TierStats`).
+
+Deduplication is column-granular across both tiers, exactly as in
+:class:`~repro.eg.storage.DedupArtifactStore`: a column shared by several
+materialized artifacts occupies one slot in RAM while hot and one file on
+disk once demoted, and ``put``/``incremental_size``/``total_bytes`` report
+the same byte accounting as the in-memory dedup store — tier placement
+never changes *what* is materialized, only *where* it lives and what a
+retrieval costs.
+
+Invariants:
+
+* a COLD vertex always has every column/object it needs on disk (demotion
+  writes all of a vertex's columns, shared ones included);
+* ``_hot_column_refs[cid]`` counts the HOT vertices referencing a column;
+  a column is resident in RAM iff that count is positive;
+* ``hot_bytes <= hot_budget_bytes`` after every mutating call (a payload
+  larger than the whole budget is demoted immediately and every access to
+  it is a cold hit — the honest outcome for an artifact that cannot fit).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+import weakref
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..dataframe import Column, DataFrame
+from ..eg.storage import ArtifactStore, StorageTier, check_not_divergent
+from ..graph.artifacts import payload_size_bytes
+from .disk import DiskColdTier
+from .tiers import TierStats
+
+__all__ = ["TieredArtifactStore"]
+
+_UNSET = object()
+
+
+class TieredArtifactStore(ArtifactStore):
+    """Column-deduplicating store split across a RAM and a disk tier."""
+
+    def __init__(
+        self,
+        hot_budget_bytes: float | None = None,
+        directory: str | Path | None = None,
+    ):
+        if hot_budget_bytes is not None and hot_budget_bytes < 0:
+            raise ValueError("hot budget must be non-negative")
+        self.hot_budget_bytes = hot_budget_bytes
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-cold-")
+            # the temp cold tier dies with the store; explicit directories
+            # are the owner's responsibility (they may outlive the process)
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, directory, ignore_errors=True
+            )
+        self._cold = DiskColdTier(directory)
+        self.stats = TierStats()
+
+        #: vertex id -> [(output column name, lineage id)] for frame payloads
+        self._layouts: dict[str, list[tuple[str, str]]] = {}
+        #: vertex id -> logical bytes for non-frame payloads
+        self._object_sizes: dict[str, int] = {}
+        #: lineage id -> logical bytes / number of referencing vertices
+        self._column_sizes: dict[str, int] = {}
+        self._column_refs: dict[str, int] = {}
+        #: RAM residents
+        self._hot_columns: dict[str, Column] = {}
+        self._hot_column_refs: dict[str, int] = {}
+        self._hot_objects: dict[str, Any] = {}
+        self._hot_bytes = 0
+        #: vertex id -> current tier
+        self._tier: dict[str, StorageTier] = {}
+        #: hot vertices, oldest access first
+        self._lru: OrderedDict[str, None] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # ArtifactStore contract
+    # ------------------------------------------------------------------
+    def put(self, vertex_id: str, payload: Any) -> int:
+        if vertex_id in self._tier:
+            if vertex_id in self._layouts:
+                signature: Any = [
+                    (name, self._column_sizes[column_id])
+                    for name, column_id in self._layouts[vertex_id]
+                ]
+            else:
+                signature = self._object_sizes[vertex_id]
+            check_not_divergent(vertex_id, signature, payload)
+            return 0
+
+        if not isinstance(payload, DataFrame):
+            size = payload_size_bytes(payload)
+            self._object_sizes[vertex_id] = size
+            self._hot_objects[vertex_id] = payload
+            self._hot_bytes += size
+            added = size
+        else:
+            added = 0
+            layout: list[tuple[str, str]] = []
+            for name in payload.columns:
+                column = payload.column(name)
+                cid = column.column_id
+                refs = self._column_refs.get(cid, 0)
+                self._column_refs[cid] = refs + 1
+                if refs == 0:
+                    self._column_sizes[cid] = column.nbytes
+                    added += column.nbytes
+                hot_refs = self._hot_column_refs.get(cid, 0)
+                self._hot_column_refs[cid] = hot_refs + 1
+                if hot_refs == 0:
+                    self._hot_columns[cid] = column
+                    self._hot_bytes += self._column_sizes[cid]
+                layout.append((name, cid))
+            self._layouts[vertex_id] = layout
+
+        self._tier[vertex_id] = StorageTier.HOT
+        self._lru[vertex_id] = None
+        self._enforce_hot_budget()
+        return added
+
+    def get(self, vertex_id: str) -> Any:
+        tier = self._tier.get(vertex_id)
+        if tier is None:
+            raise KeyError(f"vertex {vertex_id[:12]} is not materialized")
+        if tier is StorageTier.HOT:
+            self.stats.hot_hits += 1
+            self._lru.move_to_end(vertex_id)
+            return self._reconstruct_hot(vertex_id)
+        self.stats.cold_hits += 1
+        started = time.perf_counter()
+        payload = self._promote(vertex_id)
+        self.stats.load_seconds += time.perf_counter() - started
+        self._enforce_hot_budget()
+        return payload
+
+    def remove(self, vertex_id: str) -> int:
+        tier = self._tier.pop(vertex_id, None)
+        if tier is None:
+            return 0
+        self._lru.pop(vertex_id, None)
+
+        if vertex_id in self._object_sizes:
+            size = self._object_sizes.pop(vertex_id)
+            if self._hot_objects.pop(vertex_id, None) is not None:
+                self._hot_bytes -= size
+            self._cold.delete_object(vertex_id)
+            return size
+
+        released = 0
+        for _name, cid in self._layouts.pop(vertex_id):
+            if tier is StorageTier.HOT:
+                self._hot_column_refs[cid] -= 1
+                if self._hot_column_refs[cid] == 0:
+                    if self._column_refs[cid] > 1 and not self._cold.has_column(cid):
+                        # remaining referents are cold; keep the bytes durable
+                        self._cold.write_column(self._hot_columns[cid])
+                    del self._hot_column_refs[cid]
+                    del self._hot_columns[cid]
+                    self._hot_bytes -= self._column_sizes[cid]
+            self._column_refs[cid] -= 1
+            if self._column_refs[cid] == 0:
+                released += self._column_sizes[cid]
+                del self._column_refs[cid]
+                del self._column_sizes[cid]
+                self._cold.delete_column(cid)
+        return released
+
+    def __contains__(self, vertex_id: str) -> bool:
+        return vertex_id in self._tier
+
+    @property
+    def total_bytes(self) -> int:
+        """Physical bytes of distinct content — identical accounting to
+        :class:`DedupArtifactStore`, independent of tier placement."""
+        return sum(self._column_sizes.values()) + sum(self._object_sizes.values())
+
+    @property
+    def logical_bytes(self) -> int:
+        """Bytes the stored artifacts would occupy without deduplication."""
+        logical = sum(self._object_sizes.values())
+        for layout in self._layouts.values():
+            for _name, cid in layout:
+                logical += self._column_sizes[cid]
+        return logical
+
+    @property
+    def vertex_ids(self) -> set[str]:
+        return set(self._tier)
+
+    def incremental_size(self, payloads: Iterable[tuple[str, Any]]) -> int:
+        """Dry-run: physical bytes the given artifacts would add."""
+        added = 0
+        simulated: set[str] = set()
+        for vertex_id, payload in payloads:
+            if vertex_id in self._tier:
+                continue
+            if not isinstance(payload, DataFrame):
+                added += payload_size_bytes(payload)
+                continue
+            for name in payload.columns:
+                column = payload.column(name)
+                if column.column_id in self._column_sizes or column.column_id in simulated:
+                    continue
+                simulated.add(column.column_id)
+                added += column.nbytes
+        return added
+
+    # ------------------------------------------------------------------
+    # Tier reporting and instrumentation
+    # ------------------------------------------------------------------
+    def tier_of(self, vertex_id: str) -> StorageTier:
+        tier = self._tier.get(vertex_id)
+        if tier is None:
+            raise KeyError(f"vertex {vertex_id[:12]} is not materialized")
+        return tier
+
+    @property
+    def hot_bytes(self) -> int:
+        """Logical bytes currently resident in RAM."""
+        return self._hot_bytes
+
+    @property
+    def cold_bytes(self) -> int:
+        """Logical bytes currently resident on disk (write-through copies
+        of hot columns included, so hot + cold may exceed ``total_bytes``)."""
+        return self._cold.bytes_stored
+
+    @property
+    def directory(self) -> Path:
+        """Root of the cold tier's on-disk layout."""
+        return self._cold.directory
+
+    def statistics(self) -> dict[str, Any]:
+        tiers = list(self._tier.values())
+        return {
+            "store_type": type(self).__name__,
+            "total_bytes": self.total_bytes,
+            "logical_bytes": self.logical_bytes,
+            "hot_bytes": self.hot_bytes,
+            "cold_bytes": self.cold_bytes,
+            "hot_budget_bytes": self.hot_budget_bytes,
+            "vertices": len(tiers),
+            "hot_vertices": sum(1 for t in tiers if t is StorageTier.HOT),
+            "cold_vertices": sum(1 for t in tiers if t is StorageTier.COLD),
+            "hot_hits": self.stats.hot_hits,
+            "cold_hits": self.stats.cold_hits,
+            "promotions": self.stats.promotions,
+            "demotions": self.stats.demotions,
+            "bytes_demoted": self.stats.bytes_demoted,
+            "load_seconds": self.stats.load_seconds,
+            "hit_ratio": self.stats.hit_ratio,
+        }
+
+    # ------------------------------------------------------------------
+    # Tier movement
+    # ------------------------------------------------------------------
+    def demote(self, vertex_id: str) -> None:
+        """Move a hot vertex's content to disk, freeing RAM."""
+        if self._tier.get(vertex_id) is not StorageTier.HOT:
+            raise KeyError(f"vertex {vertex_id[:12]} is not in the hot tier")
+        self.stats.demotions += 1
+        self._tier[vertex_id] = StorageTier.COLD
+        self._lru.pop(vertex_id)
+
+        if vertex_id in self._hot_objects:
+            payload = self._hot_objects.pop(vertex_id)
+            size = self._object_sizes[vertex_id]
+            self.stats.bytes_demoted += self._cold.write_object(
+                vertex_id, payload, size
+            )
+            self._hot_bytes -= size
+            return
+
+        for _name, cid in self._layouts[vertex_id]:
+            # every column of a demoted vertex must be durable, shared ones
+            # included — a hot co-referent may be removed later without
+            # another chance to write
+            self.stats.bytes_demoted += self._cold.write_column(self._hot_columns[cid])
+            self._hot_column_refs[cid] -= 1
+            if self._hot_column_refs[cid] == 0:
+                del self._hot_column_refs[cid]
+                del self._hot_columns[cid]
+                self._hot_bytes -= self._column_sizes[cid]
+
+    def _promote(self, vertex_id: str) -> Any:
+        """Read a cold vertex back into RAM; returns its payload."""
+        self.stats.promotions += 1
+        self._tier[vertex_id] = StorageTier.HOT
+        self._lru[vertex_id] = None
+
+        if vertex_id in self._object_sizes:
+            payload = self._cold.read_object(vertex_id)
+            self._hot_objects[vertex_id] = payload
+            self._hot_bytes += self._object_sizes[vertex_id]
+            return payload
+
+        columns = []
+        for name, cid in self._layouts[vertex_id]:
+            hot_refs = self._hot_column_refs.get(cid, 0)
+            if hot_refs == 0:
+                self._hot_columns[cid] = self._cold.read_column(cid, name)
+                self._hot_bytes += self._column_sizes[cid]
+            self._hot_column_refs[cid] = hot_refs + 1
+            stored = self._hot_columns[cid]
+            columns.append(stored.rename(name) if stored.name != name else stored)
+        return DataFrame(columns)
+
+    def _enforce_hot_budget(self) -> None:
+        if self.hot_budget_bytes is None:
+            return
+        while self._hot_bytes > self.hot_budget_bytes and self._lru:
+            self.demote(next(iter(self._lru)))
+
+    def _reconstruct_hot(self, vertex_id: str) -> Any:
+        if vertex_id in self._hot_objects:
+            return self._hot_objects[vertex_id]
+        columns = []
+        for name, cid in self._layouts[vertex_id]:
+            stored = self._hot_columns[cid]
+            columns.append(stored.rename(name) if stored.name != name else stored)
+        return DataFrame(columns)
+
+    # ------------------------------------------------------------------
+    # Persistence: flush and reopen in place
+    # ------------------------------------------------------------------
+    def flush(self, directory: str | Path | None = None) -> Path:
+        """Make every artifact durable and write the manifest.
+
+        Hot content stays hot (flushing is write-through, not demotion).
+        With no ``directory`` — or the cold tier's own directory — the
+        store flushes in place; otherwise a full copy is written to the
+        given directory, leaving this store untouched.
+        """
+        if directory is None or Path(directory) == self._cold.directory:
+            target = self._cold
+        else:
+            target = DiskColdTier(directory)
+        for cid in self._column_sizes:
+            if target.has_column(cid):
+                continue
+            column = self._hot_columns.get(cid)
+            if column is None:
+                column = self._cold.read_column(cid, cid)
+            target.write_column(column)
+        for vertex_id, size in self._object_sizes.items():
+            if target.has_object(vertex_id):
+                continue
+            if vertex_id in self._hot_objects:
+                payload = self._hot_objects[vertex_id]
+            else:
+                payload = self._cold.read_object(vertex_id)
+            target.write_object(vertex_id, payload, size)
+        target.write_manifest(self._manifest_document())
+        return target.directory
+
+    def _manifest_document(self) -> dict[str, Any]:
+        vertices: dict[str, Any] = {}
+        for vertex_id, layout in self._layouts.items():
+            vertices[vertex_id] = {
+                "kind": "frame",
+                "layout": [[name, cid] for name, cid in layout],
+            }
+        for vertex_id, size in self._object_sizes.items():
+            vertices[vertex_id] = {"kind": "object", "nbytes": size}
+        return {
+            "vertices": vertices,
+            "hot_budget_bytes": self.hot_budget_bytes,
+        }
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        hot_budget_bytes: float | None = _UNSET,  # type: ignore[assignment]
+    ) -> "TieredArtifactStore":
+        """Reattach to a flushed store's directory without reading payloads.
+
+        Every vertex starts COLD; content is pulled into the hot tier
+        lazily, on first access.  The hot budget defaults to the value
+        recorded at flush time.
+        """
+        store = cls(hot_budget_bytes=None, directory=directory)
+        document = store._cold.read_manifest()
+        if hot_budget_bytes is _UNSET:
+            hot_budget_bytes = document.get("hot_budget_bytes")
+        store.hot_budget_bytes = hot_budget_bytes
+
+        store._column_sizes = dict(store._cold.column_sizes)
+        for vertex_id, entry in document["vertices"].items():
+            if entry["kind"] == "frame":
+                layout = [(name, cid) for name, cid in entry["layout"]]
+                store._layouts[vertex_id] = layout
+                for _name, cid in layout:
+                    store._column_refs[cid] = store._column_refs.get(cid, 0) + 1
+            else:
+                store._object_sizes[vertex_id] = int(entry["nbytes"])
+            store._tier[vertex_id] = StorageTier.COLD
+        return store

@@ -1,16 +1,20 @@
 """Tests for Experiment Graph save/load."""
 
+import json
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.dataframe import DataFrame
 from repro.eg.graph import ExperimentGraph
-from repro.eg.persistence import load_eg, save_eg
-from repro.eg.storage import DedupArtifactStore
+from repro.eg.persistence import EGPersistenceError, load_eg, save_eg
+from repro.eg.storage import DedupArtifactStore, StorageTier
 from repro.eg.updater import Updater
 from repro.graph.dag import WorkloadDAG
 from repro.graph.operations import DataOperation
 from repro.materialization.simple import MaterializeAll
+from repro.storage import TieredArtifactStore
 
 
 class Step(DataOperation):
@@ -88,8 +92,120 @@ class TestPersistence:
         eg = populated_eg()
         save_eg(eg, tmp_path)
         graph_file = tmp_path / "graph.json"
-        graph_file.write_text(graph_file.read_text().replace('"version": 1', '"version": 99'))
+        document = json.loads(graph_file.read_text())
+        document["version"] = 99
+        graph_file.write_text(json.dumps(document))
         with pytest.raises(ValueError, match="version"):
+            load_eg(tmp_path)
+
+    def test_dedup_preserved_after_reload(self, tmp_path):
+        # two workloads sharing the source column: the dedup store holds the
+        # shared column once, and reloading must not inflate it back
+        eg = populated_eg(store=DedupArtifactStore())
+        dag = WorkloadDAG()
+        source = dag.add_source("src", payload=DataFrame({"x": np.arange(6.0)}))
+        # two steps whose outputs share the same columns (same lineage
+        # ids), so the dedup store holds them once
+        shared = DataFrame({"x": np.arange(6.0) * 2})
+        for tag in ("left", "right"):
+            step = dag.add_operation([source], Step(tag))
+            dag.vertex(step).record_result(shared, compute_time=1.0)
+            dag.mark_terminal(step)
+        Updater(eg, MaterializeAll()).update(dag)
+        assert eg.store.total_bytes < eg.store.logical_bytes
+
+        save_eg(eg, tmp_path)
+        restored = load_eg(tmp_path)
+        assert restored.store.total_bytes == eg.store.total_bytes
+        assert restored.store.logical_bytes == eg.store.logical_bytes
+        # shared columns serialized once on disk: one .npy per distinct
+        # lineage id, not one per (vertex, column)
+        column_files = list((tmp_path / "store" / "columns").glob("*.npy"))
+        distinct_ids = {
+            cid
+            for layout in eg.store._frame_layout.values()
+            for _name, cid in layout
+        }
+        assert len(column_files) == len(distinct_ids)
+
+    def test_tiered_store_reopens_in_place(self, tmp_path):
+        store_dir = tmp_path / "egdir"
+        eg = populated_eg(store=TieredArtifactStore())
+        save_eg(eg, store_dir)
+        restored = load_eg(store_dir)
+        assert isinstance(restored.store, TieredArtifactStore)
+        # reopened lazily: everything cold, nothing in RAM yet
+        assert restored.store.hot_bytes == 0
+        for vertex_id in restored.store.vertex_ids:
+            assert restored.store.tier_of(vertex_id) is StorageTier.COLD
+        # contents still byte-identical, and reading promotes
+        for vertex_id in eg.materialized_ids():
+            assert restored.load(vertex_id) == eg.load(vertex_id)
+        assert restored.store.stats.promotions > 0
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(EGPersistenceError) as excinfo:
+            load_eg(tmp_path / "nowhere")
+        assert excinfo.value.path == tmp_path / "nowhere" / "graph.json"
+
+    def test_corrupt_graph_json(self, tmp_path):
+        eg = populated_eg()
+        save_eg(eg, tmp_path)
+        (tmp_path / "graph.json").write_text("{not json")
+        with pytest.raises(EGPersistenceError, match="corrupt"):
+            load_eg(tmp_path)
+
+    def test_missing_manifest(self, tmp_path):
+        eg = populated_eg()
+        save_eg(eg, tmp_path)
+        (tmp_path / "store" / "manifest.json").unlink()
+        with pytest.raises(EGPersistenceError, match="manifest"):
+            load_eg(tmp_path)
+
+    def test_truncated_graph_document(self, tmp_path):
+        eg = populated_eg()
+        save_eg(eg, tmp_path)
+        graph_file = tmp_path / "graph.json"
+        document = json.loads(graph_file.read_text())
+        del document["vertices"][0]["frequency"]
+        graph_file.write_text(json.dumps(document))
+        with pytest.raises(EGPersistenceError, match="corrupt"):
+            load_eg(tmp_path)
+
+    def test_legacy_v1_roundtrip(self, tmp_path):
+        # a v1 directory (whole store pickled as store.pkl) still loads
+        eg = populated_eg()
+        save_eg(eg, tmp_path)
+        graph_file = tmp_path / "graph.json"
+        document = json.loads(graph_file.read_text())
+        document["version"] = 1
+        graph_file.write_text(json.dumps(document))
+        with (tmp_path / "store.pkl").open("wb") as handle:
+            pickle.dump(eg.store, handle)
+        restored = load_eg(tmp_path)
+        for vertex_id in eg.materialized_ids():
+            assert restored.load(vertex_id) == eg.load(vertex_id)
+
+    def test_legacy_v1_missing_pickle(self, tmp_path):
+        eg = populated_eg()
+        save_eg(eg, tmp_path)
+        graph_file = tmp_path / "graph.json"
+        document = json.loads(graph_file.read_text())
+        document["version"] = 1
+        graph_file.write_text(json.dumps(document))
+        with pytest.raises(EGPersistenceError) as excinfo:
+            load_eg(tmp_path)
+        assert excinfo.value.path == tmp_path / "store.pkl"
+
+    def test_legacy_v1_corrupt_pickle(self, tmp_path):
+        eg = populated_eg()
+        save_eg(eg, tmp_path)
+        graph_file = tmp_path / "graph.json"
+        document = json.loads(graph_file.read_text())
+        document["version"] = 1
+        graph_file.write_text(json.dumps(document))
+        (tmp_path / "store.pkl").write_bytes(b"\x80\x04 garbage")
+        with pytest.raises(EGPersistenceError, match="corrupt"):
             load_eg(tmp_path)
 
     def test_quality_survives(self, tmp_path):

@@ -11,9 +11,12 @@ from repro.materialization import (
     MaterializeNone,
     StorageAwareMaterializer,
 )
+from repro.client.parser import parse_workload
+from repro.graph.pruning import prune_workload
 from repro.ml import GradientBoostingClassifier, LogisticRegression
 from repro.reuse import AllMaterializedReuse, HelixReuse, LinearReuse, NoReuse
 from repro.server.service import CollaborativeOptimizer
+from repro.storage import TieredArtifactStore, TieredLoadCostModel
 
 
 @pytest.fixture
@@ -180,3 +183,80 @@ class TestWarmstartingIntegration:
 
         report = co.run_script(bigger_gbt, sources)
         assert report.warmstarted_vertices == 0
+
+
+class TestTieredStoreIntegration:
+    """A tiered store is a drop-in for the dedup store: identical results,
+    but demotions happen and cold loads are priced at disk bandwidth."""
+
+    def _run_sequence(self, sources, store, reuse):
+        co = CollaborativeOptimizer(
+            MaterializeAll(), reuse_algorithm=reuse, store=store
+        )
+        reports = [
+            co.run_script(script, sources)
+            for script in (basic_script, modified_script, basic_script)
+        ]
+        return co, reports
+
+    def test_same_results_as_dedup_store(self, sources):
+        dedup_co, dedup_reports = self._run_sequence(
+            sources, DedupArtifactStore(), LinearReuse()
+        )
+        tiered = TieredArtifactStore(hot_budget_bytes=0)
+        co, tiered_reports = self._run_sequence(
+            sources, tiered, LinearReuse(TieredLoadCostModel.default())
+        )
+        # the *plans* may differ (cold loads can make recomputation the
+        # cheaper choice) but the produced artifacts must not: both runs
+        # reach the same terminals and record the same model qualities
+        for dedup_report, tiered_report in zip(dedup_reports, tiered_reports):
+            assert set(tiered_report.terminal_values) == set(
+                dedup_report.terminal_values
+            )
+        assert co.eg.num_vertices == dedup_co.eg.num_vertices
+        for vertex in dedup_co.eg.vertices():
+            if vertex.quality is not None:
+                assert co.eg.vertex(vertex.vertex_id).quality == vertex.quality
+        assert co.eg.store.stats.demotions > 0
+        assert tiered_reports[-1].store_stats["demotions"] > 0
+
+    def test_cold_loads_priced_at_disk_bandwidth(self, sources):
+        # ALL_M loads every materialized vertex unconditionally, so both
+        # stores load the same set and only the tier pricing differs
+        _, dedup_reports = self._run_sequence(
+            sources, DedupArtifactStore(), AllMaterializedReuse()
+        )
+        tiered = TieredArtifactStore(hot_budget_bytes=0)
+        _, tiered_reports = self._run_sequence(
+            sources,
+            tiered,
+            AllMaterializedReuse(TieredLoadCostModel.default()),
+        )
+        dedup_repeat, tiered_repeat = dedup_reports[-1], tiered_reports[-1]
+        assert tiered_repeat.loaded_vertices == dedup_repeat.loaded_vertices > 0
+        assert tiered_repeat.cold_loaded_vertices == tiered_repeat.loaded_vertices
+        assert dedup_repeat.cold_loaded_vertices == 0
+        assert tiered_repeat.load_time > dedup_repeat.load_time
+
+    def test_default_load_cost_model_is_tier_aware(self, sources):
+        co = CollaborativeOptimizer(
+            MaterializeAll(), store=TieredArtifactStore(hot_budget_bytes=0)
+        )
+        assert isinstance(co.load_cost_model, TieredLoadCostModel)
+        report = co.run_script(basic_script, sources)
+        assert report.store_stats["store_type"] == "TieredArtifactStore"
+        assert report.store_stats["demotions"] > 0
+
+    def test_optimizer_reports_planned_cold_loads(self, sources):
+        co = CollaborativeOptimizer(
+            MaterializeAll(),
+            reuse_algorithm=AllMaterializedReuse(TieredLoadCostModel.default()),
+            store=TieredArtifactStore(hot_budget_bytes=0),
+        )
+        co.run_script(basic_script, sources)
+        workspace = parse_workload(basic_script, sources)
+        prune_workload(workspace.dag)
+        result = co.optimizer.optimize(workspace.dag)
+        assert result.plan.loads
+        assert result.planned_cold_loads == len(result.plan.loads)

@@ -1,0 +1,36 @@
+"""Tests for tier-aware load-cost pricing."""
+
+from repro.eg.storage import LoadCostModel, StorageTier
+from repro.storage import TieredLoadCostModel
+
+
+class TestTieredLoadCostModel:
+    def test_cold_priced_at_disk_bandwidth(self):
+        model = TieredLoadCostModel.default()
+        size = 10_000_000
+        hot = model.cost_for_tier(size, StorageTier.HOT)
+        cold = model.cost_for_tier(size, StorageTier.COLD)
+        assert hot == LoadCostModel.in_memory().cost(size)
+        assert cold == LoadCostModel.on_disk().cost(size)
+        assert cold > hot
+
+    def test_plain_cost_is_the_hot_cost(self):
+        model = TieredLoadCostModel.default()
+        assert model.cost(1000) == model.cost_for_tier(1000, StorageTier.HOT)
+
+    def test_custom_cold_model(self):
+        model = TieredLoadCostModel(
+            bandwidth_bytes_per_s=100.0,
+            latency_s=0.0,
+            cold=LoadCostModel(bandwidth_bytes_per_s=10.0, latency_s=1.0),
+        )
+        assert model.cost_for_tier(100, StorageTier.HOT) == 1.0
+        assert model.cost_for_tier(100, StorageTier.COLD) == 11.0
+
+
+class TestBaseModelTierHook:
+    def test_base_model_ignores_tier(self):
+        model = LoadCostModel.in_memory()
+        size = 1_000_000
+        assert model.cost_for_tier(size, StorageTier.COLD) == model.cost(size)
+        assert model.cost_for_tier(size, StorageTier.HOT) == model.cost(size)

@@ -1,0 +1,276 @@
+"""Tests for the tiered artifact store: contract, movement, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Column, DataFrame
+from repro.eg.storage import ArtifactDivergenceError, DedupArtifactStore, StorageTier
+from repro.storage import TieredArtifactStore
+
+
+def frame_with_ids(spec: dict[str, tuple[str, int]]) -> DataFrame:
+    """Build a frame from {name: (column_id, n_values)}."""
+    columns = [
+        Column(name, np.zeros(n), column_id) for name, (column_id, n) in spec.items()
+    ]
+    return DataFrame(columns)
+
+
+class TestContract:
+    """The tiered store honours the ArtifactStore contract byte-for-byte
+    like DedupArtifactStore — tier placement never changes the accounting."""
+
+    def test_put_get_roundtrip(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        frame = frame_with_ids({"x": ("c1", 10), "y": ("c2", 10)})
+        store.put("v", frame)
+        assert store.get("v") == frame
+
+    def test_shared_column_stored_once(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        a = frame_with_ids({"x": ("shared", 100), "y": ("only_a", 100)})
+        b = frame_with_ids({"x": ("shared", 100), "z": ("only_b", 100)})
+        assert store.put("a", a) == 1600
+        assert store.put("b", b) == 800  # 'shared' not charged again
+        assert store.total_bytes == 2400
+        assert store.logical_bytes == 3200
+
+    def test_rename_reuses_column(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        store.put("a", frame_with_ids({"x": ("c1", 100)}))
+        assert store.put("b", frame_with_ids({"renamed": ("c1", 100)})) == 0
+        assert store.get("b").columns == ["renamed"]
+
+    def test_refcounted_removal(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        store.put("a", frame_with_ids({"x": ("shared", 100)}))
+        store.put("b", frame_with_ids({"x": ("shared", 100)}))
+        assert store.remove("a") == 0  # still referenced by b
+        assert store.remove("b") == 800
+        assert store.total_bytes == 0
+        assert store.hot_bytes == 0
+
+    def test_non_frame_payloads(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        assert store.put("m", np.zeros(10)) == 80
+        assert np.array_equal(store.get("m"), np.zeros(10))
+        assert store.remove("m") == 80
+
+    def test_missing_get_raises(self, tmp_path):
+        with pytest.raises(KeyError, match="not materialized"):
+            TieredArtifactStore(directory=tmp_path).get("nope")
+
+    def test_contains_and_ids(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        store.put("v1", 1)
+        assert "v1" in store
+        assert store.vertex_ids == {"v1"}
+
+    def test_incremental_size_counts_shared_once(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        store.put("a", frame_with_ids({"x": ("c1", 100)}))
+        planned = [
+            ("b", frame_with_ids({"x": ("c1", 100), "y": ("c2", 100)})),
+            ("c", frame_with_ids({"y": ("c2", 100), "z": ("c3", 100)})),
+        ]
+        assert store.incremental_size(planned) == 1600  # c2 once, c1 free
+        assert store.total_bytes == 800  # dry run did not commit
+
+    def test_accounting_matches_dedup_store(self, tmp_path):
+        tiered = TieredArtifactStore(hot_budget_bytes=900, directory=tmp_path)
+        dedup = DedupArtifactStore()
+        frames = [
+            ("a", frame_with_ids({"x": ("shared", 100), "y": ("a1", 100)})),
+            ("b", frame_with_ids({"x": ("shared", 100), "z": ("b1", 100)})),
+            ("m", np.zeros(30)),
+        ]
+        for vertex_id, payload in frames:
+            assert tiered.put(vertex_id, payload) == dedup.put(vertex_id, payload)
+        assert tiered.total_bytes == dedup.total_bytes
+        assert tiered.logical_bytes == dedup.logical_bytes
+
+
+class TestDivergence:
+    def test_identical_reput_is_a_noop(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        store.put("v", frame_with_ids({"x": ("c1", 10)}))
+        assert store.put("v", frame_with_ids({"x": ("c1", 10)})) == 0
+
+    def test_divergent_frame_raises(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        store.put("v", frame_with_ids({"x": ("c1", 10)}))
+        with pytest.raises(ArtifactDivergenceError, match="different columns"):
+            store.put("v", frame_with_ids({"x": ("c2", 10), "y": ("c3", 10)}))
+
+    def test_divergent_kind_raises(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        store.put("v", frame_with_ids({"x": ("c1", 10)}))
+        with pytest.raises(ArtifactDivergenceError):
+            store.put("v", np.zeros(10))
+
+
+class TestEvictionAndPromotion:
+    def test_lru_demotion_under_budget(self, tmp_path):
+        # budget fits one of the two 800-byte frames; the older one demotes
+        store = TieredArtifactStore(hot_budget_bytes=1000, directory=tmp_path)
+        store.put("old", frame_with_ids({"x": ("c_old", 100)}))
+        store.put("new", frame_with_ids({"x": ("c_new", 100)}))
+        assert store.tier_of("old") is StorageTier.COLD
+        assert store.tier_of("new") is StorageTier.HOT
+        assert store.hot_bytes == 800
+        assert store.stats.demotions == 1
+        assert store.stats.bytes_demoted == 800
+
+    def test_get_refreshes_lru_order(self, tmp_path):
+        store = TieredArtifactStore(hot_budget_bytes=1700, directory=tmp_path)
+        store.put("a", frame_with_ids({"x": ("ca", 100)}))
+        store.put("b", frame_with_ids({"x": ("cb", 100)}))
+        store.get("a")  # touch a so b is now least recently used
+        store.put("c", frame_with_ids({"x": ("cc", 100)}))
+        assert store.tier_of("b") is StorageTier.COLD
+        assert store.tier_of("a") is StorageTier.HOT
+
+    def test_cold_get_is_byte_identical_and_promotes(self, tmp_path):
+        store = TieredArtifactStore(hot_budget_bytes=1000, directory=tmp_path)
+        values = np.arange(100.0)
+        original = DataFrame([Column("x", values, "c_old")])
+        store.put("old", original)
+        store.put("new", frame_with_ids({"x": ("c_new", 100)}))
+        assert store.tier_of("old") is StorageTier.COLD
+
+        restored = store.get("old")
+        assert np.array_equal(restored.column("x").values, values)
+        assert restored == original
+        assert store.stats.cold_hits == 1
+        assert store.stats.promotions == 1
+        assert store.stats.load_seconds > 0
+        # promotion made 'old' hot and pushed 'new' out
+        assert store.tier_of("old") is StorageTier.HOT
+        assert store.tier_of("new") is StorageTier.COLD
+
+    def test_oversized_artifact_demotes_immediately(self, tmp_path):
+        store = TieredArtifactStore(hot_budget_bytes=100, directory=tmp_path)
+        store.put("big", frame_with_ids({"x": ("c1", 1000)}))
+        assert store.tier_of("big") is StorageTier.COLD
+        assert store.hot_bytes == 0
+        # every access is a cold hit: the artifact cannot stay resident
+        store.get("big")
+        assert store.stats.cold_hits == 1
+        assert store.tier_of("big") is StorageTier.COLD
+
+    def test_shared_column_durable_on_disk_once(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        store.put("a", frame_with_ids({"x": ("shared", 100), "y": ("a1", 100)}))
+        store.put("b", frame_with_ids({"x": ("shared", 100), "z": ("b1", 100)}))
+        store.demote("a")
+        store.demote("b")
+        column_files = list((tmp_path / "columns").glob("*.npy"))
+        assert len(column_files) == 3  # shared, a1, b1 — not 4
+        assert store.cold_bytes == 2400
+
+    def test_shared_column_stays_hot_while_referenced(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        store.put("a", frame_with_ids({"x": ("shared", 100)}))
+        store.put("b", frame_with_ids({"x": ("shared", 100)}))
+        store.demote("a")
+        # b still holds the column in RAM; a's demotion wrote it to disk
+        # without evicting b's copy
+        assert store.hot_bytes == 800
+        assert store.tier_of("b") is StorageTier.HOT
+        store.demote("b")
+        assert store.hot_bytes == 0
+
+    def test_remove_cold_vertex_deletes_files(self, tmp_path):
+        store = TieredArtifactStore(hot_budget_bytes=0, directory=tmp_path)
+        store.put("v", frame_with_ids({"x": ("c1", 100)}))
+        assert store.tier_of("v") is StorageTier.COLD
+        assert store.remove("v") == 800
+        assert not list((tmp_path / "columns").glob("*.npy"))
+        assert store.total_bytes == 0
+
+    def test_object_demotion_roundtrip(self, tmp_path):
+        store = TieredArtifactStore(hot_budget_bytes=50, directory=tmp_path)
+        store.put("m", np.arange(100.0))
+        assert store.tier_of("m") is StorageTier.COLD
+        assert np.array_equal(store.get("m"), np.arange(100.0))
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="non-negative"):
+            TieredArtifactStore(hot_budget_bytes=-1, directory=tmp_path)
+
+
+class TestStatistics:
+    def test_snapshot_fields(self, tmp_path):
+        store = TieredArtifactStore(hot_budget_bytes=1000, directory=tmp_path)
+        store.put("a", frame_with_ids({"x": ("ca", 100)}))
+        store.put("b", frame_with_ids({"x": ("cb", 100)}))
+        store.get("b")
+        store.get("a")  # cold hit
+        stats = store.statistics()
+        assert stats["store_type"] == "TieredArtifactStore"
+        assert stats["vertices"] == 2
+        assert stats["hot_vertices"] == 1
+        assert stats["cold_vertices"] == 1
+        assert stats["hot_hits"] == 1
+        assert stats["cold_hits"] == 1
+        assert stats["demotions"] == 2  # initial eviction + promotion swap
+        assert stats["promotions"] == 1
+        assert stats["hit_ratio"] == 0.5
+        assert stats["hot_bytes"] == 800
+        assert stats["cold_bytes"] > 0
+
+    def test_idle_hit_ratio_is_one(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        assert store.statistics()["hit_ratio"] == 1.0
+
+
+class TestFlushAndOpen:
+    def test_flush_reopen_roundtrip(self, tmp_path):
+        store = TieredArtifactStore(hot_budget_bytes=2000, directory=tmp_path)
+        frame = DataFrame([Column("x", np.arange(50.0), "c1")])
+        store.put("f", frame)
+        store.put("m", {"weights": [1, 2, 3]})
+        store.flush()
+
+        reopened = TieredArtifactStore.open(tmp_path)
+        assert reopened.vertex_ids == {"f", "m"}
+        assert reopened.hot_budget_bytes == 2000
+        assert reopened.hot_bytes == 0  # lazy: nothing read yet
+        assert all(
+            reopened.tier_of(v) is StorageTier.COLD for v in reopened.vertex_ids
+        )
+        assert reopened.total_bytes == store.total_bytes
+        assert reopened.get("f") == frame
+        assert reopened.get("m") == {"weights": [1, 2, 3]}
+
+    def test_flush_is_write_through(self, tmp_path):
+        store = TieredArtifactStore(directory=tmp_path)
+        store.put("v", frame_with_ids({"x": ("c1", 100)}))
+        store.flush()
+        assert store.tier_of("v") is StorageTier.HOT  # not demoted
+        assert store.cold_bytes == 800  # but durable
+
+    def test_flush_to_other_directory_copies(self, tmp_path):
+        store = TieredArtifactStore(hot_budget_bytes=0, directory=tmp_path / "live")
+        store.put("v", frame_with_ids({"x": ("c1", 100)}))
+        target = store.flush(tmp_path / "snapshot")
+        reopened = TieredArtifactStore.open(target)
+        assert reopened.get("v") == store.get("v")
+
+    def test_open_budget_override(self, tmp_path):
+        store = TieredArtifactStore(hot_budget_bytes=2000, directory=tmp_path)
+        store.put("v", frame_with_ids({"x": ("c1", 100)}))
+        store.flush()
+        reopened = TieredArtifactStore.open(tmp_path, hot_budget_bytes=None)
+        assert reopened.hot_budget_bytes is None
+
+    def test_temp_directory_cleanup(self):
+        store = TieredArtifactStore(hot_budget_bytes=0)
+        store.put("v", frame_with_ids({"x": ("c1", 100)}))
+        directory = store.directory
+        assert directory.exists()
+        del store
+        import gc
+
+        gc.collect()
+        assert not directory.exists()
