@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over machine-independent counters.
+
+``pytest --benchmark-json=bench.json`` records, for every benchmark, the
+``vc_``-prefixed entries of ``benchmark.extra_info`` — virtual-cost
+counters (loaded/executed vertices, modeled load seconds, store bytes,
+demotion traffic) that do not depend on the speed of the machine running
+the suite.  This script compares those counters against the committed
+``benchmarks/baseline.json`` and exits non-zero when any counter grew by
+more than the tolerance (default 25%), so a PR cannot silently regress
+plan quality or storage behaviour behind noisy wall-clock numbers.
+
+Usage::
+
+    python benchmarks/check_regression.py bench.json                # gate
+    python benchmarks/check_regression.py bench.json --update       # re-baseline
+    python benchmarks/check_regression.py bench.json --tolerance 0.1
+
+Counters present only in the baseline (a benchmark was removed) are
+reported but do not fail the gate; counters present only in the new run
+(a benchmark was added) are accepted and should be committed into the
+baseline with ``--update``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline.json"
+#: integer counters sitting near zero (e.g. 2 -> 3 demotions) must not
+#: trip the relative threshold, so each counter gets an absolute slack of
+#: up to this many units — capped at half the reference value so small
+#: float counters (modeled seconds) still gate at the relative tolerance
+ABSOLUTE_SLACK = 2.0
+
+
+def _slack(reference: float) -> float:
+    return min(ABSOLUTE_SLACK, 0.5 * reference) if reference > 0 else ABSOLUTE_SLACK
+
+
+def extract_counters(document: dict) -> dict[str, float]:
+    """``{benchmark_name.counter: value}`` for every vc_ counter."""
+    counters: dict[str, float] = {}
+    for entry in document.get("benchmarks", []):
+        name = entry.get("name", "?")
+        for key, value in (entry.get("extra_info") or {}).items():
+            if key.startswith("vc_") and isinstance(value, (int, float)):
+                counters[f"{name}.{key}"] = float(value)
+    return counters
+
+
+def compare(
+    baseline: dict[str, float], current: dict[str, float], tolerance: float
+) -> list[str]:
+    """Human-readable regression lines; empty means the gate passes."""
+    regressions = []
+    for key in sorted(baseline):
+        if key not in current:
+            print(f"  note: {key} missing from the new run (benchmark removed?)")
+            continue
+        reference, value = baseline[key], current[key]
+        limit = reference * (1.0 + tolerance) + _slack(reference)
+        if value > limit:
+            grown = (value / reference - 1.0) * 100 if reference else float("inf")
+            regressions.append(
+                f"  {key}: {reference:g} -> {value:g} (+{grown:.1f}%, "
+                f"limit +{tolerance * 100:.0f}%)"
+            )
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  note: new counter {key} = {current[key]:g} (not in baseline)")
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", type=Path, help="pytest --benchmark-json output")
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE_PATH, help="committed reference"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative growth per counter (0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    current = extract_counters(json.loads(args.bench_json.read_text()))
+    if not current:
+        print("error: no vc_ counters found in", args.bench_json)
+        return 2
+
+    if args.update:
+        args.baseline.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+        print(f"baseline updated: {len(current)} counters -> {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} does not exist (run with --update)")
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+
+    print(f"comparing {len(current)} counters against {args.baseline}")
+    regressions = compare(baseline, current, args.tolerance)
+    if regressions:
+        print("REGRESSIONS (counter grew past the tolerance):")
+        for line in regressions:
+            print(line)
+        return 1
+    print("ok: no counter regressed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,22 @@ def test_fig5_workload_sequence(benchmark, hc_sources, hc_total):
         fig5_sequence, args=(hc_sources, budget), rounds=1, iterations=1
     )
 
+    # machine-independent virtual-cost counters: the CI regression gate
+    # (benchmarks/check_regression.py) compares every ``vc_``-prefixed
+    # entry against benchmarks/baseline.json, so plan quality cannot
+    # silently regress even though wall times vary across runners
+    co_sequence = result.sequences["CO"]
+    benchmark.extra_info["vc_co_loaded_vertices"] = sum(
+        r.loaded_vertices for r in co_sequence.reports
+    )
+    benchmark.extra_info["vc_co_executed_vertices"] = sum(
+        r.executed_vertices for r in co_sequence.reports
+    )
+    benchmark.extra_info["vc_co_load_time"] = sum(
+        r.load_time for r in co_sequence.reports
+    )
+    benchmark.extra_info["vc_co_store_bytes"] = co_sequence.physical_bytes[-1]
+
     report("", "== Figure 5: cumulative run-time of workloads 1-8 (seconds) ==")
     report(f"{'system':>7} " + " ".join(f"{'W' + str(i):>7}" for i in range(1, 9)))
     for system in ("CO", "HL", "KG"):

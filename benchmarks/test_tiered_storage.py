@@ -37,6 +37,17 @@ def test_tiered_vs_dedup_store(benchmark, hc_sources, hc_total):
     dedup, tiered = results["dedup"], results["tiered"]
     stats = tiered.final_store_stats
 
+    # machine-independent counters for the CI regression gate (see
+    # benchmarks/check_regression.py): demotion traffic, modeled load
+    # time, and the materialized volume must not silently blow up
+    benchmark.extra_info["vc_tiered_demotions"] = stats["demotions"]
+    benchmark.extra_info["vc_tiered_bytes_demoted"] = stats["bytes_demoted"]
+    benchmark.extra_info["vc_tiered_load_time"] = sum(
+        r.load_time for r in tiered.reports
+    )
+    benchmark.extra_info["vc_tiered_store_bytes"] = stats["total_bytes"]
+    benchmark.extra_info["vc_dedup_store_bytes"] = dedup.final_store_stats["total_bytes"]
+
     report(
         "",
         "== Tiered storage: Kaggle W1/W2/W4/W6, hot tier at 10% of artifacts ==",

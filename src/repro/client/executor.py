@@ -1,9 +1,22 @@
 """Client-side executor (paper Section 3.1, Step 4).
 
-Runs the operations of an optimized workload DAG in topological order.
-Vertices selected by the reuse plan are *loaded* from the Experiment Graph
-store instead of computed; training vertices with a warmstart assignment
-are initialized from the assigned stored model.
+Runs the operations of an optimized workload DAG.  Vertices selected by
+the reuse plan are *loaded* from the Experiment Graph store instead of
+computed; training vertices with a warmstart assignment are initialized
+from the assigned stored model.
+
+With ``max_workers=1`` (the default) vertices run strictly in topological
+order — the paper's client, and the reference behaviour every benchmark
+is calibrated against.  With ``max_workers>1`` independent vertices are
+dispatched to a thread pool by a critical-path-first ready-set scheduler
+(:mod:`repro.client.scheduler`); loads are issued immediately as prefetch
+tasks so cold-tier disk reads overlap with upstream compute.  Threads
+suffice because compute is numpy/BLAS (releases the GIL) and cold-tier
+loads are I/O-bound.  Cost accounting is identical for every worker
+count: per-vertex outcomes are committed to the report in a canonical
+order, so ``compute_time``/``load_time`` are bit-identical across
+``max_workers`` and only the new ``wall_time`` reflects parallelism.
+See ``docs/EXECUTION.md`` for the scheduler design and its invariants.
 
 Compute times are measured with a wall clock (and can be overridden with a
 virtual cost model for timing-independent tests).  Load times are *modeled*
@@ -15,6 +28,7 @@ the costs the planner optimized against.
 from __future__ import annotations
 
 import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -25,6 +39,7 @@ from ..graph.dag import WorkloadDAG
 from ..graph.operations import Operation, TrainOperation
 from ..reuse.plan import ReusePlan
 from ..reuse.warmstart import WarmstartAssignment
+from .scheduler import COMPUTE, LOAD, ReadySetScheduler
 
 __all__ = ["ExecutionReport", "Executor", "WallClockCostModel", "VirtualCostModel"]
 
@@ -57,9 +72,14 @@ class ExecutionReport:
     total_time: float = 0.0
     compute_time: float = 0.0
     load_time: float = 0.0
+    #: measured wall seconds of the execute() call; with ``max_workers>1``
+    #: this is what parallelism shrinks, while ``compute_time``/``load_time``
+    #: remain serial-equivalent sums independent of the worker count
+    wall_time: float = 0.0
     executed_vertices: int = 0
     loaded_vertices: int = 0
-    #: subset of ``loaded_vertices`` served from the store's cold (disk) tier
+    #: subset of ``loaded_vertices`` that resided in the store's cold (disk)
+    #: tier when execution started
     cold_loaded_vertices: int = 0
     warmstarted_vertices: int = 0
     #: seconds the optimizer spent planning (filled in by the server)
@@ -73,6 +93,25 @@ class ExecutionReport:
     store_stats: dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class _LoadOutcome:
+    """Fully staged result of loading one vertex (not yet in the report)."""
+
+    vertex_id: str
+    cost: float
+    cold: bool
+
+
+@dataclass(frozen=True)
+class _ComputeOutcome:
+    """Fully staged result of computing one vertex (not yet in the report)."""
+
+    vertex_id: str
+    recorded: float
+    warmstarted: bool
+    quality: float | None
+
+
 class Executor:
     """Executes workload DAGs, honoring reuse plans and warmstarts."""
 
@@ -80,11 +119,15 @@ class Executor:
         self,
         cost_model: WallClockCostModel | VirtualCostModel | None = None,
         load_cost_model: LoadCostModel | None = None,
+        max_workers: int = 1,
     ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
         self.cost_model = cost_model if cost_model is not None else WallClockCostModel()
         self.load_cost_model = (
             load_cost_model if load_cost_model is not None else LoadCostModel.in_memory()
         )
+        self.max_workers = max_workers
 
     def execute(
         self,
@@ -92,49 +135,42 @@ class Executor:
         plan: ReusePlan | None = None,
         eg: ExperimentGraph | None = None,
         warmstarts: list[WarmstartAssignment] | None = None,
+        report: ExecutionReport | None = None,
     ) -> ExecutionReport:
-        """Run the workload; mutates vertex state in place and reports costs."""
+        """Run the workload; mutates vertex state in place and reports costs.
+
+        ``report`` may be supplied by the caller (it is filled in place and
+        returned); per-vertex accounting is atomic — a vertex either
+        contributes all of its counters and costs or none, even when an
+        operation or the store fails mid-run.
+        """
         if not workload.terminals:
             raise ValueError("workload has no terminal vertices to produce")
         plan = plan if plan is not None else ReusePlan()
-        report = ExecutionReport(plan_algorithm=plan.algorithm)
+        if report is None:
+            report = ExecutionReport()
+        report.plan_algorithm = plan.algorithm
         warm_by_vertex = {w.vertex_id: w for w in (warmstarts or [])}
 
-        self._apply_loads(workload, plan, eg, report)
-
+        if plan.loads and eg is None:
+            raise ValueError("a plan with loads requires the Experiment Graph")
+        # tiers are snapshotted before any load: retrieving a cold artifact
+        # promotes it (and may demote others), so reading tiers lazily would
+        # make pricing depend on load order — the snapshot prices every load
+        # at the tier the planner saw, identically for every worker count
+        load_tiers = {
+            vertex_id: eg.tier_of(vertex_id)
+            for vertex_id in sorted(plan.loads)
+            if not workload.vertex(vertex_id).computed
+        }
         needed = plan.execution_set(workload)
-        for vertex_id in workload.topological_order():
-            vertex = workload.vertex(vertex_id)
-            if vertex.is_supernode or vertex.computed or vertex_id not in needed:
-                continue
-            operation = workload.incoming_operation(vertex_id)
-            if operation is None:
-                raise RuntimeError(
-                    f"vertex {vertex_id[:12]} needs computing but has no operation"
-                )
-            payloads = self._input_payloads(workload, vertex_id)
-            underlying = payloads[0] if len(payloads) == 1 else payloads
 
-            warm = warm_by_vertex.get(vertex_id)
-            started = time.perf_counter()
-            if warm is not None and isinstance(operation, TrainOperation):
-                payload = operation.run_warmstarted(underlying, warm.source_model)
-                report.warmstarted_vertices += 1
-            else:
-                payload = operation.run(underlying)
-            measured = time.perf_counter() - started
-
-            recorded = self.cost_model.record(operation, measured)
-            warmstartable = isinstance(operation, TrainOperation) and operation.warmstartable
-            vertex.record_result(payload, recorded, warmstartable=warmstartable)
-            report.executed_vertices += 1
-            report.compute_time += recorded
-
-            if isinstance(operation, TrainOperation):
-                quality = operation.score(payload, underlying)
-                if quality is not None and vertex.meta is not None:
-                    vertex.meta = vertex.meta.with_quality(quality)
-                    report.model_qualities[vertex_id] = quality
+        started_wall = time.perf_counter()
+        if self.max_workers == 1:
+            self._execute_sequential(workload, eg, report, warm_by_vertex, needed, load_tiers)
+        else:
+            self._execute_parallel(workload, eg, report, warm_by_vertex, needed, load_tiers)
+        report.wall_time = time.perf_counter() - started_wall
 
         for terminal in workload.terminals:
             report.terminal_values[terminal] = workload.vertex(terminal).data
@@ -142,32 +178,200 @@ class Executor:
         return report
 
     # ------------------------------------------------------------------
-    def _apply_loads(
+    # Sequential execution (the reference semantics)
+    # ------------------------------------------------------------------
+    def _execute_sequential(
         self,
         workload: WorkloadDAG,
-        plan: ReusePlan,
         eg: ExperimentGraph | None,
         report: ExecutionReport,
+        warm_by_vertex: dict[str, WarmstartAssignment],
+        needed: set[str],
+        load_tiers: dict[str, StorageTier],
     ) -> None:
-        if plan.loads and eg is None:
-            raise ValueError("a plan with loads requires the Experiment Graph")
-        for vertex_id in sorted(plan.loads):
+        for vertex_id in sorted(load_tiers):
+            outcome = self._load_vertex(workload, eg, vertex_id, load_tiers[vertex_id])
+            self._commit_load(report, outcome)
+        for vertex_id in workload.topological_order():
             vertex = workload.vertex(vertex_id)
-            if vertex.computed:
+            if vertex.is_supernode or vertex.computed or vertex_id not in needed:
                 continue
-            # the tier must be read before the load: retrieving a cold
-            # artifact promotes it back into the hot tier
-            tier = eg.tier_of(vertex_id)
-            payload = eg.load(vertex_id)
-            record = eg.vertex(vertex_id)
-            vertex.data = payload
-            vertex.computed = True
-            vertex.size = record.size
-            vertex.meta = record.meta if record.meta is not None else artifact_meta(payload)
-            report.loaded_vertices += 1
-            if tier is StorageTier.COLD:
-                report.cold_loaded_vertices += 1
-            report.load_time += self.load_cost_model.cost_for_tier(record.size, tier)
+            outcome = self._compute_vertex(workload, vertex_id, warm_by_vertex)
+            self._commit_compute(report, outcome)
+
+    # ------------------------------------------------------------------
+    # Parallel execution (ready-set scheduling over a thread pool)
+    # ------------------------------------------------------------------
+    def _execute_parallel(
+        self,
+        workload: WorkloadDAG,
+        eg: ExperimentGraph | None,
+        report: ExecutionReport,
+        warm_by_vertex: dict[str, WarmstartAssignment],
+        needed: set[str],
+        load_tiers: dict[str, StorageTier],
+    ) -> None:
+        estimates = self._cost_estimates(workload, eg, needed, load_tiers)
+        scheduler = ReadySetScheduler(workload, needed, set(load_tiers), estimates)
+        load_outcomes: dict[str, _LoadOutcome] = {}
+        compute_outcomes: dict[str, _ComputeOutcome] = {}
+        first_error: BaseException | None = None
+
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            in_flight: dict[Any, Any] = {}
+            while scheduler.outstanding or in_flight:
+                while (
+                    first_error is None
+                    and scheduler.has_ready()
+                    and len(in_flight) < self.max_workers
+                ):
+                    task = scheduler.next_task()
+                    if task.kind == LOAD:
+                        future = pool.submit(
+                            self._load_vertex,
+                            workload,
+                            eg,
+                            task.vertex_id,
+                            load_tiers[task.vertex_id],
+                        )
+                    else:
+                        future = pool.submit(
+                            self._compute_vertex, workload, task.vertex_id, warm_by_vertex
+                        )
+                    in_flight[future] = task
+                if not in_flight:
+                    # a failure stopped submission, or (defensively) the
+                    # task graph cannot make progress
+                    break
+                done, _pending = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = in_flight.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BaseException as exc:  # noqa: BLE001 - re-raised below
+                        if first_error is None:
+                            first_error = exc
+                        continue
+                    if task.kind == LOAD:
+                        load_outcomes[task.vertex_id] = outcome
+                    else:
+                        compute_outcomes[task.vertex_id] = outcome
+                    scheduler.mark_done(task)
+
+        # commit finished vertices in the same canonical order the
+        # sequential path uses, so float accumulation is bit-identical
+        # across worker counts (and stays consistent even on failure)
+        for vertex_id in sorted(load_outcomes):
+            self._commit_load(report, load_outcomes[vertex_id])
+        for vertex_id in workload.topological_order():
+            if vertex_id in compute_outcomes:
+                self._commit_compute(report, compute_outcomes[vertex_id])
+        if first_error is not None:
+            raise first_error
+
+    def _cost_estimates(
+        self,
+        workload: WorkloadDAG,
+        eg: ExperimentGraph | None,
+        needed: set[str],
+        load_tiers: dict[str, StorageTier],
+    ) -> dict[str, float]:
+        """Per-vertex cost estimates for critical-path prioritization.
+
+        Compute vertices use the planner's knowledge (EG compute times,
+        falling back to declared virtual costs); load vertices use the
+        modeled retrieval cost at the snapshotted tier.
+        """
+        estimates: dict[str, float] = {}
+        for vertex_id in needed:
+            estimate = 0.0
+            if eg is not None and vertex_id in eg:
+                estimate = eg.vertex(vertex_id).compute_time
+            if estimate <= 0.0:
+                operation = workload.incoming_operation(vertex_id)
+                estimate = float(getattr(operation, "virtual_cost", 0.0) or 0.0)
+            estimates[vertex_id] = estimate if estimate > 0.0 else 1.0
+        for vertex_id, tier in load_tiers.items():
+            size = eg.vertex(vertex_id).size if eg is not None else 0
+            estimates[vertex_id] = self.load_cost_model.cost_for_tier(size, tier)
+        return estimates
+
+    # ------------------------------------------------------------------
+    # Per-vertex task bodies (run on workers in parallel mode)
+    # ------------------------------------------------------------------
+    def _load_vertex(
+        self,
+        workload: WorkloadDAG,
+        eg: ExperimentGraph | None,
+        vertex_id: str,
+        tier: StorageTier,
+    ) -> _LoadOutcome:
+        assert eg is not None  # guaranteed by execute()
+        payload = eg.load(vertex_id)
+        record = eg.vertex(vertex_id)
+        cost = self.load_cost_model.cost_for_tier(record.size, tier)
+        vertex = workload.vertex(vertex_id)
+        vertex.data = payload
+        vertex.computed = True
+        vertex.size = record.size
+        vertex.meta = record.meta if record.meta is not None else artifact_meta(payload)
+        return _LoadOutcome(vertex_id, cost, tier is StorageTier.COLD)
+
+    def _compute_vertex(
+        self,
+        workload: WorkloadDAG,
+        vertex_id: str,
+        warm_by_vertex: dict[str, WarmstartAssignment],
+    ) -> _ComputeOutcome:
+        vertex = workload.vertex(vertex_id)
+        operation = workload.incoming_operation(vertex_id)
+        if operation is None:
+            raise RuntimeError(
+                f"vertex {vertex_id[:12]} needs computing but has no operation"
+            )
+        payloads = self._input_payloads(workload, vertex_id)
+        underlying = payloads[0] if len(payloads) == 1 else payloads
+
+        warm = warm_by_vertex.get(vertex_id)
+        warmstarted = False
+        started = time.perf_counter()
+        if warm is not None and isinstance(operation, TrainOperation):
+            payload = operation.run_warmstarted(underlying, warm.source_model)
+            warmstarted = True
+        else:
+            payload = operation.run(underlying)
+        measured = time.perf_counter() - started
+
+        recorded = self.cost_model.record(operation, measured)
+        warmstartable = isinstance(operation, TrainOperation) and operation.warmstartable
+        vertex.record_result(payload, recorded, warmstartable=warmstartable)
+
+        quality: float | None = None
+        if isinstance(operation, TrainOperation):
+            score = operation.score(payload, underlying)
+            if score is not None and vertex.meta is not None:
+                vertex.meta = vertex.meta.with_quality(score)
+                quality = score
+        return _ComputeOutcome(vertex_id, recorded, warmstarted, quality)
+
+    # ------------------------------------------------------------------
+    # Atomic per-vertex report commits
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _commit_load(report: ExecutionReport, outcome: _LoadOutcome) -> None:
+        report.loaded_vertices += 1
+        if outcome.cold:
+            report.cold_loaded_vertices += 1
+        report.load_time += outcome.cost
+
+    @staticmethod
+    def _commit_compute(report: ExecutionReport, outcome: _ComputeOutcome) -> None:
+        report.executed_vertices += 1
+        report.compute_time += outcome.recorded
+        if outcome.warmstarted:
+            report.warmstarted_vertices += 1
+        if outcome.quality is not None:
+            report.model_qualities[outcome.vertex_id] = outcome.quality
 
     def _input_payloads(self, workload: WorkloadDAG, vertex_id: str) -> list[Any]:
         payloads = []

@@ -1,0 +1,154 @@
+"""Ready-set scheduling of an optimized workload DAG (docs/EXECUTION.md).
+
+The sequential executor walks the workload in topological order; this
+module turns the same work into an explicit task graph so independent
+vertices can run on a worker pool:
+
+* one **load task** per reuse-plan vertex — dependency-free, so cold-tier
+  reads are issued immediately and overlap with upstream compute;
+* one **compute task** per execution-set vertex, depending on the tasks
+  that produce its operation inputs (loads, other computes, or nothing
+  when an input is already computed client-side).
+
+Tasks become *ready* when every dependency has committed; among ready
+tasks the scheduler hands out the one with the highest **critical-path
+priority** — the task's own cost estimate plus the most expensive chain
+of dependents hanging off it — so the longest chain starts earliest and
+the pool drains with minimal tail latency.  Ties break on vertex id,
+which keeps dispatch order deterministic for a given DAG.
+
+The scheduler is driven from a single coordinating thread (the executor's
+main loop) and is not itself thread-safe; workers only run task bodies.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..graph.dag import WorkloadDAG
+
+__all__ = ["ScheduledTask", "ReadySetScheduler", "LOAD", "COMPUTE"]
+
+LOAD = "load"
+COMPUTE = "compute"
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One schedulable unit: load or compute a single artifact vertex."""
+
+    kind: str
+    vertex_id: str
+    #: critical-path priority (cost of this task + costliest dependent chain)
+    priority: float = 0.0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.kind, self.vertex_id)
+
+
+@dataclass
+class _TaskState:
+    task: ScheduledTask
+    #: number of not-yet-finished dependencies
+    pending: int = 0
+    dependents: list[tuple[str, str]] = field(default_factory=list)
+
+
+class ReadySetScheduler:
+    """Tracks task readiness and serves ready tasks critical-path-first.
+
+    ``compute_ids`` is the plan's execution set, ``load_ids`` the plan's
+    load set restricted to vertices not already computed client-side.
+    ``cost_estimates`` maps vertex ids to estimated seconds (planner cost
+    estimates where available); missing vertices default to 1.0 so the
+    priority order degrades to longest-chain-first.
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadDAG,
+        compute_ids: set[str],
+        load_ids: set[str],
+        cost_estimates: dict[str, float] | None = None,
+    ):
+        estimates = cost_estimates or {}
+        self._states: dict[tuple[str, str], _TaskState] = {}
+        for vertex_id in load_ids:
+            task = ScheduledTask(LOAD, vertex_id)
+            self._states[task.key] = _TaskState(task)
+        for vertex_id in compute_ids:
+            task = ScheduledTask(COMPUTE, vertex_id)
+            self._states[task.key] = _TaskState(task)
+
+        # dependency edges: compute tasks wait on the producers of their
+        # operation inputs; load tasks are always dependency-free
+        for vertex_id in compute_ids:
+            key = (COMPUTE, vertex_id)
+            for input_id in workload.operation_inputs(vertex_id):
+                if input_id in load_ids:
+                    producer = (LOAD, input_id)
+                elif input_id in compute_ids:
+                    producer = (COMPUTE, input_id)
+                else:
+                    # already computed client-side (source or prior prefix
+                    # execution); the executor re-validates at run time
+                    continue
+                self._states[producer].dependents.append(key)
+                self._states[key].pending += 1
+
+        self._assign_priorities(workload, estimates)
+        self._ready: list[tuple[float, str, str]] = []
+        for state in self._states.values():
+            if state.pending == 0:
+                self._push(state.task)
+        self._outstanding = len(self._states)
+
+    # ------------------------------------------------------------------
+    def _assign_priorities(
+        self, workload: WorkloadDAG, estimates: dict[str, float]
+    ) -> None:
+        """Critical-path length over the task graph, leaves upward."""
+        order = [
+            key
+            for vertex_id in workload.topological_order()
+            for key in ((LOAD, vertex_id), (COMPUTE, vertex_id))
+            if key in self._states
+        ]
+        priority: dict[tuple[str, str], float] = {}
+        for key in reversed(order):
+            state = self._states[key]
+            downstream = max(
+                (priority[dep] for dep in state.dependents), default=0.0
+            )
+            own = float(estimates.get(key[1], 1.0))
+            priority[key] = own + downstream
+            state.task = ScheduledTask(key[0], key[1], priority[key])
+        self._priorities = priority
+
+    def _push(self, task: ScheduledTask) -> None:
+        heapq.heappush(self._ready, (-task.priority, task.vertex_id, task.kind))
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Tasks not yet marked done (ready, running, or blocked)."""
+        return self._outstanding
+
+    def has_ready(self) -> bool:
+        return bool(self._ready)
+
+    def next_task(self) -> ScheduledTask:
+        """Pop the highest-priority ready task (deterministic tie-break)."""
+        _neg, vertex_id, kind = heapq.heappop(self._ready)
+        return self._states[(kind, vertex_id)].task
+
+    def mark_done(self, task: ScheduledTask) -> None:
+        """Commit a finished task, releasing dependents into the ready set."""
+        self._outstanding -= 1
+        for dependent in self._states[task.key].dependents:
+            state = self._states[dependent]
+            state.pending -= 1
+            if state.pending == 0:
+                self._push(state.task)

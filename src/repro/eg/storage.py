@@ -21,6 +21,7 @@ bandwidth instead of RAM bandwidth.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterable
 
@@ -145,6 +146,29 @@ class ArtifactStore:
         }
 
 
+class _LockedStateMixin:
+    """Pickle support for stores that carry a (non-picklable) lock.
+
+    The lock (and any transient in-flight bookkeeping) is dropped on
+    serialization and recreated fresh on load — a freshly unpickled store
+    has, by construction, no concurrent readers.
+    """
+
+    _TRANSIENT_SLOTS = ("_lock", "_inflight")
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if key not in self._TRANSIENT_SLOTS
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+        self._inflight = {}
+
+
 def frame_signature_of(payload: DataFrame) -> list[tuple[str, int]]:
     """The (column name, byte size) signature used for divergence checks.
 
@@ -196,27 +220,33 @@ def check_not_divergent(
         )
 
 
-class SimpleArtifactStore(ArtifactStore):
-    """Whole-artifact storage without deduplication (used by HM and Helix)."""
+class SimpleArtifactStore(_LockedStateMixin, ArtifactStore):
+    """Whole-artifact storage without deduplication (used by HM and Helix).
+
+    Thread-safe: the parallel executor may issue concurrent loads, so the
+    check-then-mutate sections are guarded by a reentrant lock.
+    """
 
     def __init__(self):
         self._payloads: dict[str, Any] = {}
         self._sizes: dict[str, int] = {}
+        self._lock = threading.RLock()
 
     def put(self, vertex_id: str, payload: Any) -> int:
-        if vertex_id in self._payloads:
-            existing = self._payloads[vertex_id]
-            signature = (
-                frame_signature_of(existing)
-                if isinstance(existing, DataFrame)
-                else self._sizes[vertex_id]
-            )
-            check_not_divergent(vertex_id, signature, payload)
-            return 0
-        size = payload_size_bytes(payload)
-        self._payloads[vertex_id] = payload
-        self._sizes[vertex_id] = size
-        return size
+        with self._lock:
+            if vertex_id in self._payloads:
+                existing = self._payloads[vertex_id]
+                signature = (
+                    frame_signature_of(existing)
+                    if isinstance(existing, DataFrame)
+                    else self._sizes[vertex_id]
+                )
+                check_not_divergent(vertex_id, signature, payload)
+                return 0
+            size = payload_size_bytes(payload)
+            self._payloads[vertex_id] = payload
+            self._sizes[vertex_id] = size
+            return size
 
     def get(self, vertex_id: str) -> Any:
         try:
@@ -225,10 +255,11 @@ class SimpleArtifactStore(ArtifactStore):
             raise KeyError(f"vertex {vertex_id[:12]} is not materialized") from None
 
     def remove(self, vertex_id: str) -> int:
-        if vertex_id not in self._payloads:
-            return 0
-        del self._payloads[vertex_id]
-        return self._sizes.pop(vertex_id)
+        with self._lock:
+            if vertex_id not in self._payloads:
+                return 0
+            del self._payloads[vertex_id]
+            return self._sizes.pop(vertex_id)
 
     def __contains__(self, vertex_id: str) -> bool:
         return vertex_id in self._payloads
@@ -249,13 +280,18 @@ class SimpleArtifactStore(ArtifactStore):
         )
 
 
-class DedupArtifactStore(ArtifactStore):
+class DedupArtifactStore(_LockedStateMixin, ArtifactStore):
     """Column-deduplicating store (paper Section 5.3).
 
     DataFrame payloads are decomposed into columns keyed by lineage id and
     reference-counted; a column shared by several materialized artifacts is
     stored once.  Non-frame payloads (models, aggregates) fall back to
     whole-object storage.
+
+    Thread-safe: every mutating or multi-structure read path holds one
+    reentrant lock, so the parallel executor can load artifacts while the
+    updater of another session stores new ones without corrupting the
+    layout or the column refcounts.
     """
 
     def __init__(self):
@@ -266,66 +302,70 @@ class DedupArtifactStore(ArtifactStore):
         #: vertex id -> payload for non-frame payloads
         self._objects: dict[str, Any] = {}
         self._object_sizes: dict[str, int] = {}
+        self._lock = threading.RLock()
 
     def put(self, vertex_id: str, payload: Any) -> int:
-        if vertex_id in self:
-            if vertex_id in self._frame_layout:
-                signature: Any = [
-                    (name, self._columns[column_id][0].nbytes)
-                    for name, column_id in self._frame_layout[vertex_id]
-                ]
-            else:
-                signature = self._object_sizes[vertex_id]
-            check_not_divergent(vertex_id, signature, payload)
-            return 0
-        if not isinstance(payload, DataFrame):
-            size = payload_size_bytes(payload)
-            self._objects[vertex_id] = payload
-            self._object_sizes[vertex_id] = size
-            return size
+        with self._lock:
+            if vertex_id in self:
+                if vertex_id in self._frame_layout:
+                    signature: Any = [
+                        (name, self._columns[column_id][0].nbytes)
+                        for name, column_id in self._frame_layout[vertex_id]
+                    ]
+                else:
+                    signature = self._object_sizes[vertex_id]
+                check_not_divergent(vertex_id, signature, payload)
+                return 0
+            if not isinstance(payload, DataFrame):
+                size = payload_size_bytes(payload)
+                self._objects[vertex_id] = payload
+                self._object_sizes[vertex_id] = size
+                return size
 
-        added = 0
-        layout: list[tuple[str, str]] = []
-        for name in payload.columns:
-            column = payload.column(name)
-            entry = self._columns.get(column.column_id)
-            if entry is None:
-                self._columns[column.column_id] = (column, 1)
-                added += column.nbytes
-            else:
-                self._columns[column.column_id] = (entry[0], entry[1] + 1)
-            layout.append((name, column.column_id))
-        self._frame_layout[vertex_id] = layout
-        return added
+            added = 0
+            layout: list[tuple[str, str]] = []
+            for name in payload.columns:
+                column = payload.column(name)
+                entry = self._columns.get(column.column_id)
+                if entry is None:
+                    self._columns[column.column_id] = (column, 1)
+                    added += column.nbytes
+                else:
+                    self._columns[column.column_id] = (entry[0], entry[1] + 1)
+                layout.append((name, column.column_id))
+            self._frame_layout[vertex_id] = layout
+            return added
 
     def get(self, vertex_id: str) -> Any:
-        if vertex_id in self._objects:
-            return self._objects[vertex_id]
-        layout = self._frame_layout.get(vertex_id)
-        if layout is None:
-            raise KeyError(f"vertex {vertex_id[:12]} is not materialized")
-        columns = []
-        for name, column_id in layout:
-            stored, _refs = self._columns[column_id]
-            columns.append(stored.rename(name) if stored.name != name else stored)
-        return DataFrame(columns)
+        with self._lock:
+            if vertex_id in self._objects:
+                return self._objects[vertex_id]
+            layout = self._frame_layout.get(vertex_id)
+            if layout is None:
+                raise KeyError(f"vertex {vertex_id[:12]} is not materialized")
+            columns = []
+            for name, column_id in layout:
+                stored, _refs = self._columns[column_id]
+                columns.append(stored.rename(name) if stored.name != name else stored)
+            return DataFrame(columns)
 
     def remove(self, vertex_id: str) -> int:
-        if vertex_id in self._objects:
-            del self._objects[vertex_id]
-            return self._object_sizes.pop(vertex_id)
-        layout = self._frame_layout.pop(vertex_id, None)
-        if layout is None:
-            return 0
-        released = 0
-        for _name, column_id in layout:
-            column, refs = self._columns[column_id]
-            if refs == 1:
-                del self._columns[column_id]
-                released += column.nbytes
-            else:
-                self._columns[column_id] = (column, refs - 1)
-        return released
+        with self._lock:
+            if vertex_id in self._objects:
+                del self._objects[vertex_id]
+                return self._object_sizes.pop(vertex_id)
+            layout = self._frame_layout.pop(vertex_id, None)
+            if layout is None:
+                return 0
+            released = 0
+            for _name, column_id in layout:
+                column, refs = self._columns[column_id]
+                if refs == 1:
+                    del self._columns[column_id]
+                    released += column.nbytes
+                else:
+                    self._columns[column_id] = (column, refs - 1)
+            return released
 
     def __contains__(self, vertex_id: str) -> bool:
         return vertex_id in self._frame_layout or vertex_id in self._objects
@@ -333,8 +373,9 @@ class DedupArtifactStore(ArtifactStore):
     @property
     def total_bytes(self) -> int:
         """Physical bytes used — duplicated columns counted once."""
-        columns = sum(column.nbytes for column, _refs in self._columns.values())
-        return columns + sum(self._object_sizes.values())
+        with self._lock:
+            columns = sum(column.nbytes for column, _refs in self._columns.values())
+            return columns + sum(self._object_sizes.values())
 
     @property
     def logical_bytes(self) -> int:
@@ -343,31 +384,34 @@ class DedupArtifactStore(ArtifactStore):
         This is the paper's "real size of the materialized artifacts"
         (Figure 6), which for SA can exceed the physical budget severalfold.
         """
-        logical = sum(self._object_sizes.values())
-        for layout in self._frame_layout.values():
-            for _name, column_id in layout:
-                column, _refs = self._columns[column_id]
-                logical += column.nbytes
-        return logical
+        with self._lock:
+            logical = sum(self._object_sizes.values())
+            for layout in self._frame_layout.values():
+                for _name, column_id in layout:
+                    column, _refs = self._columns[column_id]
+                    logical += column.nbytes
+            return logical
 
     @property
     def vertex_ids(self) -> set[str]:
-        return set(self._frame_layout) | set(self._objects)
+        with self._lock:
+            return set(self._frame_layout) | set(self._objects)
 
     def incremental_size(self, payloads: Iterable[tuple[str, Any]]) -> int:
         """Dry-run: physical bytes the given artifacts would add."""
-        added = 0
-        simulated: set[str] = set()
-        for vertex_id, payload in payloads:
-            if vertex_id in self:
-                continue
-            if not isinstance(payload, DataFrame):
-                added += payload_size_bytes(payload)
-                continue
-            for name in payload.columns:
-                column = payload.column(name)
-                if column.column_id in self._columns or column.column_id in simulated:
+        with self._lock:
+            added = 0
+            simulated: set[str] = set()
+            for vertex_id, payload in payloads:
+                if vertex_id in self:
                     continue
-                simulated.add(column.column_id)
-                added += column.nbytes
-        return added
+                if not isinstance(payload, DataFrame):
+                    added += payload_size_bytes(payload)
+                    continue
+                for name in payload.columns:
+                    column = payload.column(name)
+                    if column.column_id in self._columns or column.column_id in simulated:
+                        continue
+                    simulated.add(column.column_id)
+                    added += column.nbytes
+            return added

@@ -50,6 +50,7 @@ class CollaborativeOptimizer:
         warmstarting: bool = False,
         warmstart_policy: str = "best_quality",
         cost_model: WallClockCostModel | VirtualCostModel | None = None,
+        max_workers: int = 1,
     ):
         if load_cost_model is None:
             # a tiered store's cold hits must be priced at disk bandwidth,
@@ -72,8 +73,13 @@ class CollaborativeOptimizer:
         )
         self.updater = Updater(self.eg, materializer)
         self.cost_model = cost_model if cost_model is not None else WallClockCostModel()
+        # max_workers=1 is the paper's sequential client; higher values
+        # parallelize independent DAG branches without changing any cost
+        # accounting or planner decision (see docs/EXECUTION.md)
         self.executor = Executor(
-            cost_model=self.cost_model, load_cost_model=self.load_cost_model
+            cost_model=self.cost_model,
+            load_cost_model=self.load_cost_model,
+            max_workers=max_workers,
         )
         self.last_update_report: UpdateReport | None = None
 

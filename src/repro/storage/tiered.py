@@ -26,12 +26,25 @@ Invariants:
 * ``hot_bytes <= hot_budget_bytes`` after every mutating call (a payload
   larger than the whole budget is demoted immediately and every access to
   it is a cold hit — the honest outcome for an artifact that cannot fit).
+
+Thread-safety (docs/EXECUTION.md): all tier bookkeeping — LRU order,
+hot-byte accounting, promotion/demotion, and :class:`TierStats` counters —
+is guarded by one reentrant lock, so the parallel executor can hammer the
+store from many workers.  Cold-tier *disk reads* happen outside the lock:
+``get`` of a cold vertex registers an in-flight marker, stages the read
+without blocking other threads, and commits the promotion under the lock.
+Concurrent ``get`` calls for the same cold vertex deduplicate — the second
+caller waits for the in-flight promotion and is then served from RAM, so
+one reused artifact triggers exactly one disk read however many consumers
+it has.  Removing a vertex concurrently with a ``get`` of that same vertex
+remains a caller error, exactly as for a plain dict-backed store.
 """
 
 from __future__ import annotations
 
 import shutil
 import tempfile
+import threading
 import time
 import weakref
 from collections import OrderedDict
@@ -39,7 +52,12 @@ from pathlib import Path
 from typing import Any, Iterable
 
 from ..dataframe import Column, DataFrame
-from ..eg.storage import ArtifactStore, StorageTier, check_not_divergent
+from ..eg.storage import (
+    ArtifactStore,
+    StorageTier,
+    _LockedStateMixin,
+    check_not_divergent,
+)
 from ..graph.artifacts import payload_size_bytes
 from .disk import DiskColdTier
 from .tiers import TierStats
@@ -49,7 +67,7 @@ __all__ = ["TieredArtifactStore"]
 _UNSET = object()
 
 
-class TieredArtifactStore(ArtifactStore):
+class TieredArtifactStore(_LockedStateMixin, ArtifactStore):
     """Column-deduplicating store split across a RAM and a disk tier."""
 
     def __init__(
@@ -86,98 +104,123 @@ class TieredArtifactStore(ArtifactStore):
         self._tier: dict[str, StorageTier] = {}
         #: hot vertices, oldest access first
         self._lru: OrderedDict[str, None] = OrderedDict()
+        #: guards every tier-bookkeeping structure above
+        self._lock = threading.RLock()
+        #: vertex id -> event set when its in-flight promotion commits
+        self._inflight: dict[str, threading.Event] = {}
 
     # ------------------------------------------------------------------
     # ArtifactStore contract
     # ------------------------------------------------------------------
     def put(self, vertex_id: str, payload: Any) -> int:
-        if vertex_id in self._tier:
-            if vertex_id in self._layouts:
-                signature: Any = [
-                    (name, self._column_sizes[column_id])
-                    for name, column_id in self._layouts[vertex_id]
-                ]
+        with self._lock:
+            if vertex_id in self._tier:
+                if vertex_id in self._layouts:
+                    signature: Any = [
+                        (name, self._column_sizes[column_id])
+                        for name, column_id in self._layouts[vertex_id]
+                    ]
+                else:
+                    signature = self._object_sizes[vertex_id]
+                check_not_divergent(vertex_id, signature, payload)
+                return 0
+
+            if not isinstance(payload, DataFrame):
+                size = payload_size_bytes(payload)
+                self._object_sizes[vertex_id] = size
+                self._hot_objects[vertex_id] = payload
+                self._hot_bytes += size
+                added = size
             else:
-                signature = self._object_sizes[vertex_id]
-            check_not_divergent(vertex_id, signature, payload)
-            return 0
+                added = 0
+                layout: list[tuple[str, str]] = []
+                for name in payload.columns:
+                    column = payload.column(name)
+                    cid = column.column_id
+                    refs = self._column_refs.get(cid, 0)
+                    self._column_refs[cid] = refs + 1
+                    if refs == 0:
+                        self._column_sizes[cid] = column.nbytes
+                        added += column.nbytes
+                    hot_refs = self._hot_column_refs.get(cid, 0)
+                    self._hot_column_refs[cid] = hot_refs + 1
+                    if hot_refs == 0:
+                        self._hot_columns[cid] = column
+                        self._hot_bytes += self._column_sizes[cid]
+                    layout.append((name, cid))
+                self._layouts[vertex_id] = layout
 
-        if not isinstance(payload, DataFrame):
-            size = payload_size_bytes(payload)
-            self._object_sizes[vertex_id] = size
-            self._hot_objects[vertex_id] = payload
-            self._hot_bytes += size
-            added = size
-        else:
-            added = 0
-            layout: list[tuple[str, str]] = []
-            for name in payload.columns:
-                column = payload.column(name)
-                cid = column.column_id
-                refs = self._column_refs.get(cid, 0)
-                self._column_refs[cid] = refs + 1
-                if refs == 0:
-                    self._column_sizes[cid] = column.nbytes
-                    added += column.nbytes
-                hot_refs = self._hot_column_refs.get(cid, 0)
-                self._hot_column_refs[cid] = hot_refs + 1
-                if hot_refs == 0:
-                    self._hot_columns[cid] = column
-                    self._hot_bytes += self._column_sizes[cid]
-                layout.append((name, cid))
-            self._layouts[vertex_id] = layout
-
-        self._tier[vertex_id] = StorageTier.HOT
-        self._lru[vertex_id] = None
-        self._enforce_hot_budget()
-        return added
+            self._tier[vertex_id] = StorageTier.HOT
+            self._lru[vertex_id] = None
+            self._enforce_hot_budget()
+            return added
 
     def get(self, vertex_id: str) -> Any:
-        tier = self._tier.get(vertex_id)
-        if tier is None:
-            raise KeyError(f"vertex {vertex_id[:12]} is not materialized")
-        if tier is StorageTier.HOT:
-            self.stats.hot_hits += 1
-            self._lru.move_to_end(vertex_id)
-            return self._reconstruct_hot(vertex_id)
-        self.stats.cold_hits += 1
-        started = time.perf_counter()
-        payload = self._promote(vertex_id)
-        self.stats.load_seconds += time.perf_counter() - started
-        self._enforce_hot_budget()
-        return payload
+        while True:
+            with self._lock:
+                tier = self._tier.get(vertex_id)
+                if tier is None:
+                    raise KeyError(f"vertex {vertex_id[:12]} is not materialized")
+                if tier is StorageTier.HOT:
+                    self.stats.hot_hits += 1
+                    self._lru.move_to_end(vertex_id)
+                    return self._reconstruct_hot(vertex_id)
+                waiter = self._inflight.get(vertex_id)
+                if waiter is None:
+                    # this thread promotes; others arriving meanwhile wait
+                    event = threading.Event()
+                    self._inflight[vertex_id] = event
+                    break
+            # another thread is reading the same vertex from disk — wait
+            # for its commit, then retry (the vertex is hot afterwards),
+            # so one reused artifact costs exactly one disk read
+            waiter.wait()
+        try:
+            started = time.perf_counter()
+            staged = self._stage_cold_read(vertex_id)
+            with self._lock:
+                self.stats.cold_hits += 1
+                payload = self._promote(vertex_id, staged)
+                self.stats.load_seconds += time.perf_counter() - started
+                self._enforce_hot_budget()
+                return payload
+        finally:
+            with self._lock:
+                self._inflight.pop(vertex_id, None)
+            event.set()
 
     def remove(self, vertex_id: str) -> int:
-        tier = self._tier.pop(vertex_id, None)
-        if tier is None:
-            return 0
-        self._lru.pop(vertex_id, None)
+        with self._lock:
+            tier = self._tier.pop(vertex_id, None)
+            if tier is None:
+                return 0
+            self._lru.pop(vertex_id, None)
 
-        if vertex_id in self._object_sizes:
-            size = self._object_sizes.pop(vertex_id)
-            if self._hot_objects.pop(vertex_id, None) is not None:
-                self._hot_bytes -= size
-            self._cold.delete_object(vertex_id)
-            return size
+            if vertex_id in self._object_sizes:
+                size = self._object_sizes.pop(vertex_id)
+                if self._hot_objects.pop(vertex_id, None) is not None:
+                    self._hot_bytes -= size
+                self._cold.delete_object(vertex_id)
+                return size
 
-        released = 0
-        for _name, cid in self._layouts.pop(vertex_id):
-            if tier is StorageTier.HOT:
-                self._hot_column_refs[cid] -= 1
-                if self._hot_column_refs[cid] == 0:
-                    if self._column_refs[cid] > 1 and not self._cold.has_column(cid):
-                        # remaining referents are cold; keep the bytes durable
-                        self._cold.write_column(self._hot_columns[cid])
-                    del self._hot_column_refs[cid]
-                    del self._hot_columns[cid]
-                    self._hot_bytes -= self._column_sizes[cid]
-            self._column_refs[cid] -= 1
-            if self._column_refs[cid] == 0:
-                released += self._column_sizes[cid]
-                del self._column_refs[cid]
-                del self._column_sizes[cid]
-                self._cold.delete_column(cid)
-        return released
+            released = 0
+            for _name, cid in self._layouts.pop(vertex_id):
+                if tier is StorageTier.HOT:
+                    self._hot_column_refs[cid] -= 1
+                    if self._hot_column_refs[cid] == 0:
+                        if self._column_refs[cid] > 1 and not self._cold.has_column(cid):
+                            # remaining referents are cold; keep the bytes durable
+                            self._cold.write_column(self._hot_columns[cid])
+                        del self._hot_column_refs[cid]
+                        del self._hot_columns[cid]
+                        self._hot_bytes -= self._column_sizes[cid]
+                self._column_refs[cid] -= 1
+                if self._column_refs[cid] == 0:
+                    released += self._column_sizes[cid]
+                    del self._column_refs[cid]
+                    del self._column_sizes[cid]
+                    self._cold.delete_column(cid)
+            return released
 
     def __contains__(self, vertex_id: str) -> bool:
         return vertex_id in self._tier
@@ -203,21 +246,22 @@ class TieredArtifactStore(ArtifactStore):
 
     def incremental_size(self, payloads: Iterable[tuple[str, Any]]) -> int:
         """Dry-run: physical bytes the given artifacts would add."""
-        added = 0
-        simulated: set[str] = set()
-        for vertex_id, payload in payloads:
-            if vertex_id in self._tier:
-                continue
-            if not isinstance(payload, DataFrame):
-                added += payload_size_bytes(payload)
-                continue
-            for name in payload.columns:
-                column = payload.column(name)
-                if column.column_id in self._column_sizes or column.column_id in simulated:
+        with self._lock:
+            added = 0
+            simulated: set[str] = set()
+            for vertex_id, payload in payloads:
+                if vertex_id in self._tier:
                     continue
-                simulated.add(column.column_id)
-                added += column.nbytes
-        return added
+                if not isinstance(payload, DataFrame):
+                    added += payload_size_bytes(payload)
+                    continue
+                for name in payload.columns:
+                    column = payload.column(name)
+                    if column.column_id in self._column_sizes or column.column_id in simulated:
+                        continue
+                    simulated.add(column.column_id)
+                    added += column.nbytes
+            return added
 
     # ------------------------------------------------------------------
     # Tier reporting and instrumentation
@@ -245,7 +289,11 @@ class TieredArtifactStore(ArtifactStore):
         return self._cold.directory
 
     def statistics(self) -> dict[str, Any]:
-        tiers = list(self._tier.values())
+        with self._lock:
+            tiers = list(self._tier.values())
+            return self._statistics_locked(tiers)
+
+    def _statistics_locked(self, tiers: list[StorageTier]) -> dict[str, Any]:
         return {
             "store_type": type(self).__name__,
             "total_bytes": self.total_bytes,
@@ -270,40 +318,58 @@ class TieredArtifactStore(ArtifactStore):
     # ------------------------------------------------------------------
     def demote(self, vertex_id: str) -> None:
         """Move a hot vertex's content to disk, freeing RAM."""
-        if self._tier.get(vertex_id) is not StorageTier.HOT:
-            raise KeyError(f"vertex {vertex_id[:12]} is not in the hot tier")
-        self.stats.demotions += 1
-        self._tier[vertex_id] = StorageTier.COLD
-        self._lru.pop(vertex_id)
+        with self._lock:
+            if self._tier.get(vertex_id) is not StorageTier.HOT:
+                raise KeyError(f"vertex {vertex_id[:12]} is not in the hot tier")
+            self.stats.demotions += 1
+            self._tier[vertex_id] = StorageTier.COLD
+            self._lru.pop(vertex_id)
 
-        if vertex_id in self._hot_objects:
-            payload = self._hot_objects.pop(vertex_id)
-            size = self._object_sizes[vertex_id]
-            self.stats.bytes_demoted += self._cold.write_object(
-                vertex_id, payload, size
-            )
-            self._hot_bytes -= size
-            return
+            if vertex_id in self._hot_objects:
+                payload = self._hot_objects.pop(vertex_id)
+                size = self._object_sizes[vertex_id]
+                self.stats.bytes_demoted += self._cold.write_object(
+                    vertex_id, payload, size
+                )
+                self._hot_bytes -= size
+                return
 
-        for _name, cid in self._layouts[vertex_id]:
-            # every column of a demoted vertex must be durable, shared ones
-            # included — a hot co-referent may be removed later without
-            # another chance to write
-            self.stats.bytes_demoted += self._cold.write_column(self._hot_columns[cid])
-            self._hot_column_refs[cid] -= 1
-            if self._hot_column_refs[cid] == 0:
-                del self._hot_column_refs[cid]
-                del self._hot_columns[cid]
-                self._hot_bytes -= self._column_sizes[cid]
+            for _name, cid in self._layouts[vertex_id]:
+                # every column of a demoted vertex must be durable, shared ones
+                # included — a hot co-referent may be removed later without
+                # another chance to write
+                self.stats.bytes_demoted += self._cold.write_column(self._hot_columns[cid])
+                self._hot_column_refs[cid] -= 1
+                if self._hot_column_refs[cid] == 0:
+                    del self._hot_column_refs[cid]
+                    del self._hot_columns[cid]
+                    self._hot_bytes -= self._column_sizes[cid]
 
-    def _promote(self, vertex_id: str) -> Any:
-        """Read a cold vertex back into RAM; returns its payload."""
+    def _stage_cold_read(self, vertex_id: str) -> Any:
+        """Read a cold vertex's content from disk *without* holding the lock.
+
+        Returns the raw object for object payloads, or a ``cid -> Column``
+        mapping for frame payloads.  Columns that already look hot are
+        skipped; ``_promote`` re-checks under the lock and re-reads the
+        rare column that was demoted in between (cold columns are always
+        durable, so the read cannot miss).
+        """
+        if vertex_id in self._object_sizes:
+            return self._cold.read_object(vertex_id)
+        staged: dict[str, Column] = {}
+        for name, cid in self._layouts[vertex_id]:
+            if cid not in staged and self._hot_column_refs.get(cid, 0) == 0:
+                staged[cid] = self._cold.read_column(cid, name)
+        return staged
+
+    def _promote(self, vertex_id: str, staged: Any) -> Any:
+        """Commit a staged cold read into the hot tier (lock held)."""
         self.stats.promotions += 1
         self._tier[vertex_id] = StorageTier.HOT
         self._lru[vertex_id] = None
 
         if vertex_id in self._object_sizes:
-            payload = self._cold.read_object(vertex_id)
+            payload = staged
             self._hot_objects[vertex_id] = payload
             self._hot_bytes += self._object_sizes[vertex_id]
             return payload
@@ -312,7 +378,11 @@ class TieredArtifactStore(ArtifactStore):
         for name, cid in self._layouts[vertex_id]:
             hot_refs = self._hot_column_refs.get(cid, 0)
             if hot_refs == 0:
-                self._hot_columns[cid] = self._cold.read_column(cid, name)
+                column = staged.get(cid)
+                if column is None:
+                    # was hot while staging, demoted before the commit
+                    column = self._cold.read_column(cid, name)
+                self._hot_columns[cid] = column
                 self._hot_bytes += self._column_sizes[cid]
             self._hot_column_refs[cid] = hot_refs + 1
             stored = self._hot_columns[cid]
@@ -345,27 +415,28 @@ class TieredArtifactStore(ArtifactStore):
         store flushes in place; otherwise a full copy is written to the
         given directory, leaving this store untouched.
         """
-        if directory is None or Path(directory) == self._cold.directory:
-            target = self._cold
-        else:
-            target = DiskColdTier(directory)
-        for cid in self._column_sizes:
-            if target.has_column(cid):
-                continue
-            column = self._hot_columns.get(cid)
-            if column is None:
-                column = self._cold.read_column(cid, cid)
-            target.write_column(column)
-        for vertex_id, size in self._object_sizes.items():
-            if target.has_object(vertex_id):
-                continue
-            if vertex_id in self._hot_objects:
-                payload = self._hot_objects[vertex_id]
+        with self._lock:
+            if directory is None or Path(directory) == self._cold.directory:
+                target = self._cold
             else:
-                payload = self._cold.read_object(vertex_id)
-            target.write_object(vertex_id, payload, size)
-        target.write_manifest(self._manifest_document())
-        return target.directory
+                target = DiskColdTier(directory)
+            for cid in self._column_sizes:
+                if target.has_column(cid):
+                    continue
+                column = self._hot_columns.get(cid)
+                if column is None:
+                    column = self._cold.read_column(cid, cid)
+                target.write_column(column)
+            for vertex_id, size in self._object_sizes.items():
+                if target.has_object(vertex_id):
+                    continue
+                if vertex_id in self._hot_objects:
+                    payload = self._hot_objects[vertex_id]
+                else:
+                    payload = self._cold.read_object(vertex_id)
+                target.write_object(vertex_id, payload, size)
+            target.write_manifest(self._manifest_document())
+            return target.directory
 
     def _manifest_document(self) -> dict[str, Any]:
         vertices: dict[str, Any] = {}

@@ -110,6 +110,82 @@ class TestOperationFailures:
         assert report.executed_vertices == 1
 
 
+class RaisingLoadCostModel:
+    """Prices every load by raising — models a cost model fed bad sizes."""
+
+    def cost(self, size_bytes):
+        raise RuntimeError("injected cost-model failure")
+
+    def cost_for_tier(self, size_bytes, tier):
+        raise RuntimeError("injected cost-model failure")
+
+
+class TestAtomicReportAccounting:
+    """A vertex contributes all of its report counters or none.
+
+    Regression tests: the executor used to mutate the report field by
+    field while processing a vertex, so a failure mid-vertex (operation
+    raising, or the load-cost model raising after the payload was fetched)
+    left ``executed_vertices``/``loaded_vertices`` inconsistent with
+    ``compute_time``/``load_time``.  Outcomes are now staged per vertex
+    and committed atomically.
+    """
+
+    def _two_step_dag(self):
+        dag = WorkloadDAG()
+        src = dag.add_source("s", payload=frame())
+        good_op = Identity("ok")
+        good_op.virtual_cost = 1.0
+        good = dag.add_operation([src], good_op)
+        bad = dag.add_operation([good], Boom())
+        dag.mark_terminal(bad)
+        return dag
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_failed_compute_contributes_nothing(self, workers):
+        from repro.client.executor import ExecutionReport, VirtualCostModel
+
+        dag = self._two_step_dag()
+        report = ExecutionReport()
+        executor = Executor(cost_model=VirtualCostModel(), max_workers=workers)
+        with pytest.raises(RuntimeError, match="injected"):
+            executor.execute(dag, report=report)
+        # the good vertex committed fully; the failing one not at all
+        assert report.executed_vertices == 1
+        assert report.compute_time == 1.0
+        assert report.loaded_vertices == 0
+        assert report.load_time == 0.0
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_failed_load_contributes_nothing(self, workers):
+        from repro.client.executor import ExecutionReport
+
+        dag = WorkloadDAG()
+        src = dag.add_source("s", payload=frame())
+        out = dag.add_operation([src], Identity("a"))
+        dag.mark_terminal(out)
+        Executor().execute(dag)
+        eg = ExperimentGraph()
+        Updater(eg, MaterializeAll()).update(dag)
+
+        fresh = WorkloadDAG()
+        fresh_src = fresh.add_source("s", payload=frame())
+        fresh_out = fresh.add_operation([fresh_src], Identity("a"))
+        fresh.mark_terminal(fresh_out)
+        report = ExecutionReport()
+        executor = Executor(load_cost_model=RaisingLoadCostModel(), max_workers=workers)
+        with pytest.raises(RuntimeError, match="cost-model"):
+            executor.execute(
+                fresh, plan=ReusePlan(loads={fresh_out}), eg=eg, report=report
+            )
+        # nothing half-counted: the load failed before its commit, so the
+        # report shows no loads and no load time — and the workload vertex
+        # was not marked computed either (cost is priced before mutation)
+        assert report.loaded_vertices == 0
+        assert report.load_time == 0.0
+        assert not fresh.vertex(fresh_out).computed
+
+
 class TestStoreCorruption:
     def test_materialized_flag_without_payload_raises(self):
         dag = WorkloadDAG()
