@@ -10,6 +10,11 @@ the suite.  This script compares those counters against the committed
 more than the tolerance (default 25%), so a PR cannot silently regress
 plan quality or storage behaviour behind noisy wall-clock numbers.
 
+Counters whose name starts with ``vc_exact_`` are *fully deterministic*
+(e.g. the final EG structure the concurrent service converges to) and
+must match the baseline exactly — any difference, growth or shrinkage,
+fails the gate.
+
 Usage::
 
     python benchmarks/check_regression.py bench.json                # gate
@@ -62,6 +67,12 @@ def compare(
             print(f"  note: {key} missing from the new run (benchmark removed?)")
             continue
         reference, value = baseline[key], current[key]
+        if ".vc_exact_" in key:
+            if value != reference:
+                regressions.append(
+                    f"  {key}: {reference:g} -> {value:g} (exact counter must match)"
+                )
+            continue
         limit = reference * (1.0 + tolerance) + _slack(reference)
         if value > limit:
             grown = (value / reference - 1.0) * 100 if reference else float("inf")

@@ -32,7 +32,7 @@ def scaled(value: int, minimum: int = 1) -> int:
     return max(minimum, int(value * SCALE))
 
 
-_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "..", "bench_results.txt")
+_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "bench_results.txt")
 _results_initialized = False
 
 
@@ -41,7 +41,7 @@ def report(*lines: str) -> None:
 
     pytest captures even ``sys.__stdout__`` at the file-descriptor level
     unless ``-s`` is given, so the rows are additionally persisted to
-    ``bench_results.txt`` at the repository root.
+    ``benchmarks/bench_results.txt``.
     """
     global _results_initialized
     mode = "a" if _results_initialized else "w"

@@ -1,0 +1,50 @@
+"""Concurrent EG service — the swarm under the benchmark harness.
+
+Not a figure from the paper: the paper's system serves collaborating
+users from one Experiment Graph but evaluates workloads sequentially.
+This benchmark runs 8 concurrent tenants against the multi-tenant EG
+service (snapshot-isolated planning, batched update merging) and gates
+the machine-independent outcome: the final EG structure must be *exactly*
+reproducible (``vc_exact_`` counters), the concurrent run must equal a
+sequential commit-order replay bit-for-bit, and merges must actually
+batch (mean batch size > 1).
+"""
+
+from conftest import report
+
+from repro.experiments.swarm import run_swarm
+
+
+def test_service_swarm(benchmark):
+    def run():
+        return run_swarm(clients=8, rounds=3, op_seconds=0.02, replay=True)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = result.stats
+
+    report(
+        f"Swarm: {result.clients} clients x {result.rounds} rounds "
+        f"-> {result.workloads} commits in {result.wall_seconds:.2f}s "
+        f"({result.throughput:.1f}/s)",
+        f"  batches={stats.batches} mean_batch={stats.mean_batch_size:.2f} "
+        f"max_batch={stats.max_batch_size}",
+        f"  reuse_hits={stats.reuse_hits_total}/{stats.plans_total} "
+        f"p50={stats.request_p50_s * 1e3:.1f}ms p99={stats.request_p99_s * 1e3:.1f}ms",
+        f"  EG: {result.eg_vertices}v/{result.eg_edges}e "
+        f"materialized={result.eg_materialized} store={result.store_bytes}B "
+        f"replay_identical={result.fingerprint_match}",
+    )
+
+    # correctness of the concurrent path is part of the benchmark contract
+    assert result.fingerprint_match is True
+    assert stats.mean_batch_size > 1.0
+    assert stats.reuse_hits_total > 0
+
+    # exact machine-independent counters: the final EG of the batched-merge
+    # path is fully deterministic, so the gate requires equality, not just
+    # bounded growth (see benchmarks/check_regression.py)
+    benchmark.extra_info["vc_exact_swarm_eg_vertices"] = result.eg_vertices
+    benchmark.extra_info["vc_exact_swarm_eg_edges"] = result.eg_edges
+    benchmark.extra_info["vc_exact_swarm_eg_materialized"] = result.eg_materialized
+    benchmark.extra_info["vc_exact_swarm_store_bytes"] = result.store_bytes
+    benchmark.extra_info["vc_exact_swarm_merged_workloads"] = stats.merged_workloads

@@ -10,7 +10,7 @@ from .storage import (
     SimpleArtifactStore,
     StorageTier,
 )
-from .updater import Updater, UpdateReport
+from .updater import BatchUpdateReport, Updater, UpdateReport
 
 __all__ = [
     "EGVertex",
@@ -23,6 +23,7 @@ __all__ = [
     "StorageTier",
     "Updater",
     "UpdateReport",
+    "BatchUpdateReport",
     "save_eg",
     "load_eg",
     "EGPersistenceError",

@@ -9,18 +9,35 @@ After the client executes a workload, the updater (paper Section 3.2):
 3. invokes the configured materialization algorithm and reconciles the
    artifact store against its output — storing newly selected contents that
    are at hand and evicting deselected ones.
+
+The multi-tenant EG service batches step 3: :meth:`Updater.update_batch`
+unions several executed workloads in commit order and runs the
+materialization algorithm *once* for the whole batch, with every payload
+computed anywhere in the batch available for storing.  ``update`` is the
+historical single-workload entry point and is exactly a batch of one.
+
+Merging is guarded by an explicit conflict check: a workload vertex whose
+id already exists in the EG but whose dataset payload carries a divergent
+column schema (or a divergent deterministic frame size) indicates broken
+lineage hashing upstream — under batched merges this would silently
+overwrite another tenant's measurements, so the updater raises
+:class:`~repro.eg.storage.ArtifactDivergenceError` instead.  Model and
+aggregate vertices are exempt: warmstarted training legitimately produces
+a different-sized model at the same vertex id.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, Sequence
 
+from ..graph.artifacts import ArtifactType
 from ..graph.dag import WorkloadDAG
 from ..materialization.base import Materializer
 from .graph import ExperimentGraph
+from .storage import ArtifactDivergenceError
 
-__all__ = ["Updater", "UpdateReport"]
+__all__ = ["Updater", "UpdateReport", "BatchUpdateReport"]
 
 
 @dataclass
@@ -33,6 +50,26 @@ class UpdateReport:
     store_bytes_after: int = 0
 
 
+@dataclass
+class BatchUpdateReport:
+    """What one batched updater invocation changed.
+
+    ``outcomes`` holds, per submitted workload in batch order, either the
+    workload's new-source count (merged) or the
+    :class:`~repro.eg.storage.ArtifactDivergenceError` that rejected it —
+    a rejected workload contributes nothing to the EG while the rest of
+    the batch still merges.
+    """
+
+    merged_workloads: int = 0
+    rejected_workloads: int = 0
+    new_sources: int = 0
+    newly_materialized: list[str] = field(default_factory=list)
+    evicted: list[str] = field(default_factory=list)
+    store_bytes_after: int = 0
+    outcomes: list[int | ArtifactDivergenceError] = field(default_factory=list)
+
+
 class Updater:
     """Applies executed workloads to the EG and runs the materializer."""
 
@@ -40,22 +77,110 @@ class Updater:
         self.eg = eg
         self.materializer = materializer
 
+    # ------------------------------------------------------------------
     def update(self, executed: WorkloadDAG) -> UpdateReport:
         """Union an executed workload into the EG and rematerialize."""
-        report = UpdateReport()
+        batch = self.update_batch([executed])
+        outcome = batch.outcomes[0]
+        if isinstance(outcome, ArtifactDivergenceError):
+            raise outcome
+        return UpdateReport(
+            new_sources=batch.new_sources,
+            newly_materialized=batch.newly_materialized,
+            evicted=batch.evicted,
+            store_bytes_after=batch.store_bytes_after,
+        )
 
-        # Task 2: union first so materialization sees the new vertices.
-        self.eg.union_workload(executed)
+    def update_batch(
+        self,
+        batch: Sequence[WorkloadDAG],
+        evict: Callable[[str], int] | None = None,
+    ) -> BatchUpdateReport:
+        """Union a batch of executed workloads, then rematerialize once.
 
-        # Task 1: sources are always stored, outside the budget.
-        for vertex in executed.vertices():
-            if vertex.is_source and vertex.computed:
-                if not self.eg.is_materialized(vertex.vertex_id):
-                    self.eg.materialize(vertex.vertex_id, vertex.data)
-                    report.new_sources += 1
+        Workloads are merged in the given order (the service's commit
+        order); each is conflict-checked against the EG state left by its
+        predecessors, so an intra-batch divergence is caught exactly as a
+        cross-batch one would be.  ``evict`` overrides how deselected
+        artifacts leave the store — the versioned EG service passes a
+        deferred eviction so readers holding older snapshots can still
+        load them.
+        """
+        report = BatchUpdateReport()
+        merged: list[WorkloadDAG] = []
+        for executed in batch:
+            try:
+                self.check_conflicts(executed)
+            except ArtifactDivergenceError as error:
+                report.outcomes.append(error)
+                report.rejected_workloads += 1
+                continue
 
-        # Task 3: run the materialization algorithm and reconcile.
-        available = self._available_payloads(executed)
+            # Task 2: union first so materialization sees the new vertices.
+            self.eg.union_workload(executed)
+
+            # Task 1: sources are always stored, outside the budget.
+            new_sources = 0
+            for vertex in executed.vertices():
+                if vertex.is_source and vertex.computed:
+                    if not self.eg.is_materialized(vertex.vertex_id):
+                        self.eg.materialize(vertex.vertex_id, vertex.data)
+                        new_sources += 1
+            report.outcomes.append(new_sources)
+            report.new_sources += new_sources
+            report.merged_workloads += 1
+            merged.append(executed)
+
+        # Task 3: one materialization pass for the whole batch.
+        if merged:
+            self._reconcile(merged, report, evict)
+        report.store_bytes_after = self.eg.store.total_bytes
+        return report
+
+    # ------------------------------------------------------------------
+    def check_conflicts(self, executed: WorkloadDAG) -> None:
+        """Raise on a workload vertex that diverges from its EG record.
+
+        Vertex ids are content addresses, so a dataset arriving under an
+        existing id must match the recorded column schema and size;
+        anything else means two different artifacts share one id and a
+        merge would silently overwrite one of them.
+        """
+        for vertex in executed.artifact_vertices():
+            if not vertex.computed or vertex.vertex_id not in self.eg:
+                continue
+            record = self.eg.vertex(vertex.vertex_id)
+            if (
+                record.meta is None
+                or vertex.meta is None
+                or record.meta.artifact_type is not ArtifactType.DATASET
+                or vertex.meta.artifact_type is not ArtifactType.DATASET
+            ):
+                continue
+            recorded_columns = set(record.meta.schema)
+            arriving_columns = set(vertex.meta.schema)
+            if recorded_columns != arriving_columns:
+                raise ArtifactDivergenceError(
+                    f"vertex {vertex.vertex_id[:12]} arrived with columns "
+                    f"{sorted(arriving_columns)} but the EG records "
+                    f"{sorted(recorded_columns)}"
+                )
+            if record.size > 0 and vertex.size > 0 and record.size != vertex.size:
+                raise ArtifactDivergenceError(
+                    f"vertex {vertex.vertex_id[:12]} arrived with "
+                    f"{vertex.size} bytes but the EG records {record.size}"
+                )
+
+    # ------------------------------------------------------------------
+    def _reconcile(
+        self,
+        merged: Sequence[WorkloadDAG],
+        report: BatchUpdateReport,
+        evict: Callable[[str], int] | None,
+    ) -> None:
+        """Run the materialization algorithm and apply its selection."""
+        evict = evict if evict is not None else self.eg.unmaterialize
+        available = self._available_payloads(merged)
         target = self.materializer.select(self.eg, available)
 
         current = {
@@ -64,7 +189,8 @@ class Updater:
             if not self.eg.vertex(vertex_id).is_source
         }
         for vertex_id in sorted(current - target):
-            self.eg.unmaterialize(vertex_id)
+            self.eg.vertex(vertex_id).materialized = False
+            evict(vertex_id)
             report.evicted.append(vertex_id)
         for vertex_id in sorted(target - current):
             payload = available.get(vertex_id)
@@ -73,17 +199,15 @@ class Updater:
             self.eg.materialize(vertex_id, payload)
             report.newly_materialized.append(vertex_id)
 
-        report.store_bytes_after = self.eg.store.total_bytes
-        return report
-
-    def _available_payloads(self, executed: WorkloadDAG) -> dict[str, Any]:
+    def _available_payloads(self, merged: Sequence[WorkloadDAG]) -> dict[str, Any]:
         """Contents obtainable now: just-computed plus already-stored."""
         available: dict[str, Any] = {}
         for vertex_id in self.eg.materialized_ids():
             vertex = self.eg.vertex(vertex_id)
             if not vertex.is_source:
                 available[vertex_id] = self.eg.load(vertex_id)
-        for vertex in executed.artifact_vertices():
-            if vertex.computed and not vertex.is_source and vertex.data is not None:
-                available[vertex.vertex_id] = vertex.data
+        for executed in merged:
+            for vertex in executed.artifact_vertices():
+                if vertex.computed and not vertex.is_source and vertex.data is not None:
+                    available[vertex.vertex_id] = vertex.data
         return available

@@ -126,6 +126,39 @@ def _run_fig10(credit, args) -> None:
     _print(f"  cumulative accuracy delta: {result.cumulative_delta_accuracy[-1]:+.3f}")
 
 
+def _run_swarm(_sources, args) -> None:
+    from .swarm import run_swarm
+
+    result = run_swarm(clients=args.clients, rounds=args.rounds)
+    stats = result.stats
+    _print(
+        f"Swarm: {result.clients} concurrent clients x {result.rounds} workloads "
+        f"({result.workloads} commits in {result.wall_seconds:.2f}s, "
+        f"{result.throughput:.1f}/s)"
+    )
+    _print(
+        f"  merge batches: {stats.batches} "
+        f"(mean size {stats.mean_batch_size:.2f}, max {stats.max_batch_size})"
+    )
+    _print(
+        f"  reuse: {stats.reuse_hits_total}/{stats.plans_total} plans hit the EG "
+        f"({stats.reuse_hit_rate:.0%}); retries {stats.retries_total}, "
+        f"overload rejections {stats.overload_rejections}"
+    )
+    _print(
+        f"  request latency: p50 {stats.request_p50_s * 1e3:.1f}ms "
+        f"p99 {stats.request_p99_s * 1e3:.1f}ms"
+    )
+    _print(
+        f"  final EG: {result.eg_vertices} vertices, {result.eg_edges} edges, "
+        f"{result.eg_materialized} materialized, {result.store_bytes} store bytes"
+    )
+    match = result.fingerprint_match
+    _print(f"  sequential commit-order replay identical: {match}")
+    if match is False:
+        raise SystemExit("swarm EG diverged from the sequential replay")
+
+
 def _run_workers(_sources, args) -> None:
     counts = sorted({1, args.max_workers} | {w for w in (2,) if w < args.max_workers})
     result = figures.workers_speedup(worker_counts=counts, n_branches=args.branches)
@@ -147,7 +180,7 @@ _KAGGLE_EXPERIMENTS = {
     "fig9": _run_fig9,
 }
 _OPENML_EXPERIMENTS = {"fig8": _run_fig8, "fig10": _run_fig10}
-_STANDALONE = {"fig9d": _run_fig9d, "workers": _run_workers}
+_STANDALONE = {"fig9d": _run_fig9d, "workers": _run_workers, "swarm": _run_swarm}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -165,6 +198,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--branches", type=int, default=4, help="independent branches in the workers DAG"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=8, help="concurrent tenants in the swarm experiment"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="workloads per tenant in the swarm experiment"
     )
     parser.add_argument("--seed", type=int, default=42)
     args = parser.parse_args(argv)

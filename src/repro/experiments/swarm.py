@@ -1,0 +1,222 @@
+"""Swarm experiment: N concurrent tenants against one EG service.
+
+This is the service subsystem's acceptance experiment.  ``run_swarm``
+drives ``clients`` concurrent :class:`~repro.service.client.ServiceClient`
+sessions, each submitting ``rounds`` synthetic sleep-operation workloads
+with heavily shared prefixes, against one background-worker
+:class:`~repro.service.core.EGService`.  The merge worker lingers briefly
+so near-simultaneous commits coalesce into batches (one materialization
+pass per batch).
+
+Everything that reaches the Experiment Graph is machine-independent: the
+workloads declare virtual costs (:class:`VirtualCostModel` records those
+instead of wall time), payload sizes are deterministic, and
+``MaterializeAll`` keeps the materialized set order-insensitive.  The
+experiment therefore ends with a strong correctness check — the final EG
+must be **bit-identical** (vertices, edges, bookkeeping, materialized
+set) to a sequential replay of the same workloads through a plain
+:class:`CollaborativeOptimizer` in the service's recorded commit order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..client.executor import VirtualCostModel
+from ..dataframe import DataFrame
+from ..eg.graph import ExperimentGraph
+from ..materialization import MaterializeAll
+from ..server.service import CollaborativeOptimizer
+from ..service import EGService, ServiceClient, ServiceStats
+from ..workloads.synthetic_dag import wide_workload_script
+
+__all__ = ["SwarmResult", "run_swarm", "eg_fingerprint", "swarm_script", "swarm_sources"]
+
+
+# ----------------------------------------------------------------------
+# EG fingerprinting
+# ----------------------------------------------------------------------
+def eg_fingerprint(eg: ExperimentGraph) -> str:
+    """Canonical digest of an EG's full observable state.
+
+    Covers every vertex's bookkeeping (frequency, compute time, size,
+    materialized flag, quality, last_seen), every edge with its operation
+    hash, the materialized set, and the workload counter — two EGs with
+    equal fingerprints are interchangeable for planning and accounting.
+    """
+    vertices = sorted(
+        (
+            v.vertex_id,
+            v.artifact_type.value,
+            v.frequency,
+            round(v.compute_time, 9),
+            v.size,
+            v.materialized,
+            round(v.quality, 9),
+            v.is_source,
+            v.last_seen,
+        )
+        for v in eg.vertices()
+    )
+    edges = sorted(
+        (src, dst, attrs.get("op_hash"), attrs.get("order", 0))
+        for src, dst, attrs in eg.graph.edges(data=True)
+    )
+    state = {
+        "vertices": vertices,
+        "edges": edges,
+        "materialized": sorted(eg.materialized_ids()),
+        "workloads_observed": eg.workloads_observed,
+    }
+    payload = json.dumps(state, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Workload family (deterministic, shared prefixes)
+# ----------------------------------------------------------------------
+def swarm_script(
+    client: int, round_index: int, op_seconds: float = 0.02
+) -> Callable[[Any, Mapping[str, Any]], None]:
+    """The workload client ``client`` runs in round ``round_index``.
+
+    All scripts share one source and the per-branch sleep chains, so
+    tenants keep hitting each other's artifacts; branch/depth counts vary
+    deterministically with (client, round) to keep the union growing.
+    """
+    n_branches = 2 + (client + round_index) % 3
+    ops_per_branch = 2 + round_index % 2
+    return wide_workload_script(
+        n_branches=n_branches, ops_per_branch=ops_per_branch, op_seconds=op_seconds
+    )
+
+
+def swarm_sources() -> dict[str, DataFrame]:
+    """The shared source dataset (fixed seed — identical for every tenant)."""
+    rng = np.random.default_rng(7)
+    return {"wide": DataFrame({"x": rng.normal(size=64), "y": rng.normal(size=64)})}
+
+
+# ----------------------------------------------------------------------
+# The experiment
+# ----------------------------------------------------------------------
+@dataclass
+class SwarmResult:
+    """Outcome of one swarm run."""
+
+    clients: int
+    rounds: int
+    workloads: int
+    wall_seconds: float
+    #: frozen service-wide counters at shutdown
+    stats: ServiceStats = field(repr=False, default=None)  # type: ignore[assignment]
+    #: commit order as ``client:round`` labels
+    commit_labels: list[str] = field(default_factory=list)
+    eg_vertices: int = 0
+    eg_edges: int = 0
+    eg_materialized: int = 0
+    store_bytes: int = 0
+    concurrent_fingerprint: str = ""
+    replay_fingerprint: str | None = None
+
+    @property
+    def fingerprint_match(self) -> bool | None:
+        """Concurrent EG ≡ sequential commit-order replay (None: no replay)."""
+        if self.replay_fingerprint is None:
+            return None
+        return self.replay_fingerprint == self.concurrent_fingerprint
+
+    @property
+    def throughput(self) -> float:
+        """Workloads committed per wall-clock second."""
+        return self.workloads / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+def run_swarm(
+    clients: int = 8,
+    rounds: int = 3,
+    op_seconds: float = 0.02,
+    batch_linger_s: float = 0.15,
+    queue_capacity: int = 64,
+    replay: bool = True,
+) -> SwarmResult:
+    """Run the swarm and (optionally) verify against a sequential replay."""
+    service = EGService(
+        MaterializeAll(),
+        queue_capacity=queue_capacity,
+        batch_linger_s=batch_linger_s,
+        request_timeout_s=60.0,
+        background=True,
+    )
+    errors: list[BaseException] = []
+
+    def tenant(index: int) -> None:
+        try:
+            with ServiceClient(
+                service, name=f"client-{index}", cost_model=VirtualCostModel()
+            ) as client:
+                for round_index in range(rounds):
+                    client.run_script(
+                        swarm_script(index, round_index, op_seconds),
+                        swarm_sources(),
+                        label=f"{index}:{round_index}",
+                    )
+        except BaseException as error:  # noqa: BLE001 - surfaced after join
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=tenant, args=(index,), name=f"tenant-{index}")
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - started
+    service.stop()
+    if errors:
+        raise errors[0]
+
+    stats = service.stats()
+    log = sorted(service.commit_log(), key=lambda record: record.commit_index)
+    eg = service.eg
+    result = SwarmResult(
+        clients=clients,
+        rounds=rounds,
+        workloads=len(log),
+        wall_seconds=wall_seconds,
+        stats=stats,
+        commit_labels=[record.label for record in log],
+        eg_vertices=eg.num_vertices,
+        eg_edges=eg.graph.number_of_edges(),
+        eg_materialized=len(eg.materialized_ids()),
+        store_bytes=eg.store.total_bytes,
+        concurrent_fingerprint=eg_fingerprint(eg),
+    )
+
+    if replay:
+        result.replay_fingerprint = eg_fingerprint(
+            replay_sequentially(result.commit_labels, op_seconds)
+        )
+    return result
+
+
+def replay_sequentially(commit_labels: list[str], op_seconds: float) -> ExperimentGraph:
+    """Re-run the swarm's workloads through a plain single-tenant optimizer.
+
+    Follows the service's recorded commit order, so the resulting EG must
+    match the concurrent run exactly (``eg_fingerprint`` equality).
+    """
+    optimizer = CollaborativeOptimizer(MaterializeAll(), cost_model=VirtualCostModel())
+    for label in commit_labels:
+        client, round_index = (int(part) for part in label.split(":"))
+        optimizer.run_script(swarm_script(client, round_index, op_seconds), swarm_sources())
+    return optimizer.eg

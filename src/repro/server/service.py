@@ -9,6 +9,14 @@
 5. the updater merges the executed DAG into the Experiment Graph and runs
    the materialization algorithm.
 
+Since the multi-tenant service landed, steps 3 and 5 are served by an
+in-process :class:`~repro.service.core.EGService` running in inline merge
+mode: planning pins a published EG snapshot and the commit merges on the
+calling thread, so the single-tenant behaviour (and this class's public
+surface — ``eg``, ``optimizer``, ``updater``, ``last_update_report``) is
+unchanged while any number of ``CollaborativeOptimizer``/``ServiceClient``
+instances could share one service.
+
 ``run_script`` performs all five steps for a workload script;
 ``run_baseline`` executes the same script eagerly with no optimizer (the
 paper's "KG"/"OML" baseline).
@@ -31,8 +39,7 @@ from ..eg.storage import ArtifactStore, LoadCostModel
 from ..eg.updater import Updater, UpdateReport
 from ..graph.pruning import prune_workload
 from ..materialization.base import Materializer
-from ..reuse.linear import LinearReuse
-from ..storage import TieredArtifactStore, TieredLoadCostModel
+from ..service.core import EGService
 from .optimizer import Optimizer
 
 __all__ = ["CollaborativeOptimizer"]
@@ -52,26 +59,23 @@ class CollaborativeOptimizer:
         cost_model: WallClockCostModel | VirtualCostModel | None = None,
         max_workers: int = 1,
     ):
-        if load_cost_model is None:
-            # a tiered store's cold hits must be priced at disk bandwidth,
-            # or its reuse plans would assume RAM speed for demoted artifacts
-            load_cost_model = (
-                TieredLoadCostModel.default()
-                if isinstance(store, TieredArtifactStore)
-                else LoadCostModel.in_memory()
-            )
-        self.load_cost_model = load_cost_model
-        self.eg = ExperimentGraph(store)
+        self.service = EGService(
+            materializer,
+            reuse_algorithm=reuse_algorithm,
+            store=store,
+            load_cost_model=load_cost_model,
+            warmstarting=warmstarting,
+            warmstart_policy=warmstart_policy,
+        )
+        self._session = self.service.open_session(name="local")
+        self.load_cost_model = self.service.load_cost_model
         self.materializer = materializer
-        self.reuse_algorithm = (
-            reuse_algorithm
-            if reuse_algorithm is not None
-            else LinearReuse(self.load_cost_model)
-        )
+        self.reuse_algorithm = self.service.reuse_algorithm
+        # compatibility surface: an optimizer bound to the live working EG
+        # for callers that plan directly, bypassing snapshot isolation
         self.optimizer = Optimizer(
-            self.eg, self.reuse_algorithm, warmstarting, warmstart_policy
+            self.service.eg, self.reuse_algorithm, warmstarting, warmstart_policy
         )
-        self.updater = Updater(self.eg, materializer)
         self.cost_model = cost_model if cost_model is not None else WallClockCostModel()
         # max_workers=1 is the paper's sequential client; higher values
         # parallelize independent DAG branches without changing any cost
@@ -82,6 +86,24 @@ class CollaborativeOptimizer:
             max_workers=max_workers,
         )
         self.last_update_report: UpdateReport | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def eg(self) -> ExperimentGraph:
+        """The live working Experiment Graph (shared with the service)."""
+        return self.service.eg
+
+    @eg.setter
+    def eg(self, eg: ExperimentGraph) -> None:
+        # swapping in a restored EG republishes it and rebinds the
+        # service's updater; the compat optimizer follows along
+        self.service.replace_eg(eg)
+        self.optimizer.eg = eg
+
+    @property
+    def updater(self) -> Updater:
+        """The service's updater (merge path) — shared object."""
+        return self.service.updater
 
     # ------------------------------------------------------------------
     def run_script(
@@ -98,15 +120,28 @@ class CollaborativeOptimizer:
         workload = workspace.dag
         prune_workload(workload)
 
-        result = self.optimizer.optimize(workload)
-        report = self.executor.execute(
-            workload, plan=result.plan, eg=self.eg, warmstarts=result.warmstarts
-        )
-        report.optimizer_overhead = result.planning_seconds
-        report.total_time += result.planning_seconds
+        plan = self.service.plan(self._session.session_id, workload)
+        try:
+            report = self.executor.execute(
+                workload,
+                plan=plan.result.plan,
+                eg=plan.eg,
+                warmstarts=plan.result.warmstarts,
+            )
+        finally:
+            plan.release()
+        report.optimizer_overhead = plan.result.planning_seconds
+        report.total_time += plan.result.planning_seconds
 
-        self.last_update_report = self.updater.update(workload)
-        report.store_stats = self.eg.store_statistics()
+        commit = self.service.commit(self._session.session_id, workload)
+        batch = commit.batch_report
+        self.last_update_report = UpdateReport(
+            new_sources=commit.new_sources,
+            newly_materialized=batch.newly_materialized,
+            evicted=batch.evicted,
+            store_bytes_after=batch.store_bytes_after,
+        )
+        report.store_stats = self.service.store_statistics()
         return report
 
     # ------------------------------------------------------------------

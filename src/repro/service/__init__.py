@@ -1,0 +1,51 @@
+"""Concurrent multi-tenant Experiment Graph service.
+
+Snapshot-isolated planning, a bounded update queue with backpressure, and
+a single merge worker that coalesces concurrent commits into batches (one
+materialization pass per batch) before atomically publishing the next EG
+version.  ``EGService`` + ``ServiceClient`` are the in-process reference
+pair; ``repro.service.tcp`` adds a socket transport over the same core.
+"""
+
+from .client import RetryPolicy, ServiceClient
+from .core import (
+    CommitRecord,
+    CommitResult,
+    EGService,
+    ServicePlan,
+    ServiceSession,
+    UpdateTicket,
+    default_load_cost_model,
+)
+from .errors import (
+    RequestTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    UnknownSessionError,
+)
+from .stats import MetricsRecorder, ServiceStats, SessionStats
+from .versioned import SnapshotLease, VersionedExperimentGraph, copy_experiment_graph
+
+__all__ = [
+    "EGService",
+    "ServiceClient",
+    "RetryPolicy",
+    "ServiceSession",
+    "ServicePlan",
+    "CommitResult",
+    "CommitRecord",
+    "UpdateTicket",
+    "default_load_cost_model",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceStoppedError",
+    "RequestTimeoutError",
+    "UnknownSessionError",
+    "ServiceStats",
+    "SessionStats",
+    "MetricsRecorder",
+    "SnapshotLease",
+    "VersionedExperimentGraph",
+    "copy_experiment_graph",
+]

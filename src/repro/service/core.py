@@ -1,0 +1,483 @@
+"""The concurrent, multi-tenant Experiment Graph service.
+
+:class:`EGService` owns one :class:`~repro.service.versioned.VersionedExperimentGraph`
+and serves two request kinds to any number of client sessions:
+
+* **plan** — snapshot-isolated optimization: the request pins the latest
+  published EG snapshot, runs the configured reuse algorithm (plus
+  warmstart matching) against it, and returns the plan together with the
+  lease.  Readers never block on merges and never see a half-merged graph.
+* **commit** — the executed workload DAG enters a *bounded* update queue.
+  A single merge worker (a background thread, or the committing thread
+  itself in inline mode) drains whatever is queued, applies the whole
+  batch through :meth:`~repro.eg.updater.Updater.update_batch` (unions in
+  commit order, one materialization pass per batch), atomically publishes
+  the next EG version, and resolves every ticket in the batch.
+
+Backpressure is explicit: a full queue raises
+:class:`~repro.service.errors.ServiceOverloadedError` at submit time (the
+client retries with backoff), ticket waits are bounded by a per-request
+timeout, and :meth:`EGService.stop` drains the queue before the worker
+exits so accepted commits are never dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..eg.graph import ExperimentGraph
+from ..eg.storage import ArtifactDivergenceError, ArtifactStore, LoadCostModel
+from ..eg.updater import BatchUpdateReport, Updater
+from ..graph.dag import WorkloadDAG
+from ..materialization.base import Materializer
+from ..reuse.linear import LinearReuse
+from ..server.optimizer import OptimizationResult, Optimizer
+from ..storage import TieredArtifactStore, TieredLoadCostModel
+from .errors import (
+    RequestTimeoutError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    UnknownSessionError,
+)
+from .stats import MetricsRecorder, ServiceStats
+from .versioned import SnapshotLease, VersionedExperimentGraph
+
+__all__ = [
+    "ServiceSession",
+    "ServicePlan",
+    "CommitResult",
+    "CommitRecord",
+    "UpdateTicket",
+    "EGService",
+    "default_load_cost_model",
+]
+
+
+def default_load_cost_model(store: ArtifactStore | None) -> LoadCostModel:
+    """The load-cost model a store implies when none is configured.
+
+    A tiered store's cold hits must be priced at disk bandwidth, or its
+    reuse plans would assume RAM speed for demoted artifacts.
+    """
+    if isinstance(store, TieredArtifactStore):
+        return TieredLoadCostModel.default()
+    return LoadCostModel.in_memory()
+
+
+@dataclass(frozen=True)
+class ServiceSession:
+    """Handle identifying one client session at the service."""
+
+    session_id: str
+    name: str
+
+
+@dataclass
+class ServicePlan:
+    """A plan response: the optimization result plus the pinned snapshot.
+
+    The caller executes against ``lease.eg`` (loads are guaranteed to
+    resolve for the lease's lifetime) and must :meth:`release` the lease
+    afterwards — ``ServicePlan`` is itself a context manager.
+    """
+
+    session_id: str
+    result: OptimizationResult
+    lease: SnapshotLease
+
+    @property
+    def eg(self) -> ExperimentGraph:
+        return self.lease.eg
+
+    @property
+    def version(self) -> int:
+        return self.lease.version
+
+    def release(self) -> None:
+        self.lease.release()
+
+    def __enter__(self) -> "ServicePlan":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.release()
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """Outcome of one merged workload commit."""
+
+    #: global, gap-free position in the service's commit order (1-based)
+    commit_index: int
+    #: EG version that first contains this workload
+    version: int
+    #: how many workloads were merged in the same batch
+    batch_size: int
+    new_sources: int
+    #: the full report of the batch this commit rode in (shared object)
+    batch_report: BatchUpdateReport
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One entry of the service's commit log (the replay order)."""
+
+    commit_index: int
+    version: int
+    session_id: str
+    label: str
+
+
+class UpdateTicket:
+    """Pending commit: resolved or failed by the merge worker."""
+
+    def __init__(self, session_id: str, workload: WorkloadDAG, label: str):
+        self.session_id = session_id
+        self.workload = workload
+        self.label = label
+        self._event = threading.Event()
+        self._result: CommitResult | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def resolve(self, result: CommitResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> CommitResult:
+        """Block until merged; raises the merge error or a timeout."""
+        if not self._event.wait(timeout):
+            raise RequestTimeoutError(
+                f"commit {self.label or self.session_id} not merged within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+class EGService:
+    """Concurrent multi-tenant optimize/merge service over one EG."""
+
+    def __init__(
+        self,
+        materializer: Materializer,
+        reuse_algorithm=None,
+        store: ArtifactStore | None = None,
+        eg: ExperimentGraph | None = None,
+        load_cost_model: LoadCostModel | None = None,
+        warmstarting: bool = False,
+        warmstart_policy: str = "best_quality",
+        queue_capacity: int = 64,
+        batch_linger_s: float = 0.0,
+        request_timeout_s: float = 30.0,
+        background: bool = False,
+    ):
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if eg is None and store is not None:
+            eg = ExperimentGraph(store)
+        self.versioned = VersionedExperimentGraph(eg=eg)
+        self.load_cost_model = (
+            load_cost_model
+            if load_cost_model is not None
+            else default_load_cost_model(self.versioned.working.store)
+        )
+        self.reuse_algorithm = (
+            reuse_algorithm
+            if reuse_algorithm is not None
+            else LinearReuse(self.load_cost_model)
+        )
+        self.warmstarting = warmstarting
+        self.warmstart_policy = warmstart_policy
+        self.updater = Updater(self.versioned.working, materializer)
+        self.queue_capacity = queue_capacity
+        self.batch_linger_s = batch_linger_s
+        self.request_timeout_s = request_timeout_s
+
+        self._queue: deque[UpdateTicket] = deque()
+        self._queue_cv = threading.Condition()
+        self._merge_lock = threading.Lock()
+        self._stopped = False
+        self._stop_requested = False
+        self._worker: threading.Thread | None = None
+
+        self._sessions: dict[str, ServiceSession] = {}
+        self._session_counter = itertools.count(1)
+        self._registry_lock = threading.Lock()
+
+        self._commit_log: list[CommitRecord] = []
+        self._commit_counter = 0
+        self._log_lock = threading.Lock()
+
+        self._metrics = MetricsRecorder()
+        if background:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the background merge worker (idempotent).
+
+        Without a worker the service runs in *inline* mode: commits merge
+        on the committing thread under the same merge lock, with identical
+        batching semantics (concurrent committers still coalesce).
+        """
+        if self._stopped:
+            raise ServiceStoppedError("service is stopped")
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="eg-merge-worker", daemon=True
+            )
+            self._worker.start()
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting requests; by default drain queued commits first.
+
+        With ``drain=False`` queued tickets fail with
+        :class:`ServiceStoppedError` instead of merging.
+        """
+        with self._queue_cv:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._stop_requested = True
+            abandoned: list[UpdateTicket] = []
+            if not drain:
+                abandoned = list(self._queue)
+                self._queue.clear()
+            self._queue_cv.notify_all()
+        for ticket in abandoned:
+            ticket.fail(ServiceStoppedError("service stopped before the merge"))
+        if self._worker is not None:
+            self._worker.join(timeout)
+        elif drain:
+            with self._merge_lock:
+                self._drain_once()
+        # readers are gone by shutdown; reclaim every deferred removal
+        self.versioned.flush_deferred()
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def __enter__(self) -> "EGService":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop(drain=True)
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def open_session(self, name: str | None = None) -> ServiceSession:
+        self._require_running()
+        with self._registry_lock:
+            number = next(self._session_counter)
+            session = ServiceSession(
+                session_id=f"s{number:04d}", name=name or f"session-{number}"
+            )
+            self._sessions[session.session_id] = session
+        self._metrics.register_session(session.session_id, session.name)
+        return session
+
+    def close_session(self, session_id: str) -> None:
+        with self._registry_lock:
+            self._sessions.pop(session_id, None)
+
+    def _require_session(self, session_id: str) -> ServiceSession:
+        with self._registry_lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownSessionError(f"no open session {session_id!r}")
+        return session
+
+    def _require_running(self) -> None:
+        if self._stopped:
+            raise ServiceStoppedError("service is stopped")
+
+    # ------------------------------------------------------------------
+    # Read side: snapshot-isolated planning
+    # ------------------------------------------------------------------
+    def plan(self, session_id: str, workload: WorkloadDAG) -> ServicePlan:
+        """Optimize a (pruned) workload against the latest EG snapshot."""
+        self._require_session(session_id)
+        self._require_running()
+        lease = self.versioned.acquire()
+        try:
+            optimizer = Optimizer(
+                lease.eg, self.reuse_algorithm, self.warmstarting, self.warmstart_policy
+            )
+            result = optimizer.optimize(workload)
+        except BaseException:
+            lease.release()
+            raise
+        self._metrics.record_plan(session_id, len(result.plan.loads))
+        return ServicePlan(session_id=session_id, result=result, lease=lease)
+
+    # ------------------------------------------------------------------
+    # Write side: bounded queue + batched merging
+    # ------------------------------------------------------------------
+    def submit_update(
+        self, session_id: str, executed: WorkloadDAG, label: str = ""
+    ) -> UpdateTicket:
+        """Enqueue an executed workload for merging; non-blocking.
+
+        Raises :class:`ServiceOverloadedError` when the bounded queue is
+        full and :class:`ServiceStoppedError` after :meth:`stop`.  In
+        inline mode (no background worker) the merge happens before this
+        returns, on the calling thread.
+        """
+        self._require_session(session_id)
+        ticket = UpdateTicket(session_id, executed, label)
+        with self._queue_cv:
+            if self._stopped:
+                raise ServiceStoppedError("service is stopped")
+            if len(self._queue) >= self.queue_capacity:
+                self._metrics.record_overload()
+                raise ServiceOverloadedError(
+                    f"update queue is full ({self.queue_capacity} pending)"
+                )
+            self._queue.append(ticket)
+            self._queue_cv.notify()
+        if self._worker is None:
+            self._merge_inline(ticket)
+        return ticket
+
+    def commit(
+        self,
+        session_id: str,
+        executed: WorkloadDAG,
+        label: str = "",
+        timeout: float | None = None,
+    ) -> CommitResult:
+        """Submit and wait for the merge (the synchronous commit path)."""
+        ticket = self.submit_update(session_id, executed, label)
+        return ticket.wait(timeout if timeout is not None else self.request_timeout_s)
+
+    # ------------------------------------------------------------------
+    # Merge machinery
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._queue_cv:
+                while not self._queue and not self._stop_requested:
+                    self._queue_cv.wait()
+                if not self._queue and self._stop_requested:
+                    return
+                draining = self._stop_requested
+            if self.batch_linger_s > 0.0 and not draining:
+                # let near-simultaneous commits coalesce into one batch
+                time.sleep(self.batch_linger_s)
+            with self._merge_lock:
+                self._drain_once()
+
+    def _merge_inline(self, ticket: UpdateTicket) -> None:
+        # another committing thread may have batched our ticket into its
+        # own drain while we waited for the merge lock
+        while not ticket.done:
+            with self._merge_lock:
+                if ticket.done:
+                    return
+                self._drain_once()
+
+    def _drain_once(self) -> int:
+        """Merge everything currently queued as one batch (merge lock held)."""
+        with self._queue_cv:
+            batch = list(self._queue)
+            self._queue.clear()
+        if not batch:
+            return 0
+        started = time.perf_counter()
+        try:
+            report = self.updater.update_batch(
+                [ticket.workload for ticket in batch],
+                evict=self.versioned.defer_unmaterialize,
+            )
+            version = self.versioned.publish()
+            self.versioned.flush_deferred()
+        except BaseException as error:  # noqa: BLE001 - must not strand tickets
+            for ticket in batch:
+                ticket.fail(error)
+            raise
+        merge_seconds = time.perf_counter() - started
+
+        for ticket, outcome in zip(batch, report.outcomes):
+            if isinstance(outcome, ArtifactDivergenceError):
+                self._metrics.record_commit(ticket.session_id, merged=False)
+                ticket.fail(outcome)
+                continue
+            with self._log_lock:
+                self._commit_counter += 1
+                record = CommitRecord(
+                    commit_index=self._commit_counter,
+                    version=version,
+                    session_id=ticket.session_id,
+                    label=ticket.label,
+                )
+                self._commit_log.append(record)
+            self._metrics.record_commit(ticket.session_id, merged=True)
+            ticket.resolve(
+                CommitResult(
+                    commit_index=record.commit_index,
+                    version=version,
+                    batch_size=report.merged_workloads,
+                    new_sources=outcome,
+                    batch_report=report,
+                )
+            )
+        if report.merged_workloads:
+            self._metrics.record_batch(report.merged_workloads, merge_seconds)
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def eg(self) -> ExperimentGraph:
+        """The live working EG (consistent after a commit returns)."""
+        return self.versioned.working
+
+    def replace_eg(self, eg: ExperimentGraph) -> None:
+        """Swap in a different EG (e.g. restored from disk) and republish."""
+        self.versioned.replace(eg)
+        self.updater.eg = eg
+
+    def commit_log(self) -> list[CommitRecord]:
+        with self._log_lock:
+            return list(self._commit_log)
+
+    def store_statistics(self) -> dict:
+        return self.versioned.working.store_statistics()
+
+    def record_request_latency(self, seconds: float) -> None:
+        """Clients report end-to-end request latency for the p50/p99 window."""
+        self._metrics.record_request_latency(seconds)
+
+    def record_retry(self, session_id: str) -> None:
+        self._metrics.record_retry(session_id)
+
+    def stats(self) -> ServiceStats:
+        with self._queue_cv:
+            queue_depth = len(self._queue)
+        with self._registry_lock:
+            open_sessions = len(self._sessions)
+        return self._metrics.snapshot(
+            version=self.versioned.version,
+            open_sessions=open_sessions,
+            queue_depth=queue_depth,
+            queue_capacity=self.queue_capacity,
+            deferred_evictions=self.versioned.deferred_evictions,
+        )

@@ -1,0 +1,41 @@
+"""Typed failure modes of the multi-tenant EG service.
+
+Every service-raised condition a client can act on has its own exception
+type, so retry loops and transports can match on class instead of parsing
+messages.  All inherit :class:`ServiceError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceStoppedError",
+    "RequestTimeoutError",
+    "UnknownSessionError",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base class for EG service failures."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The bounded update queue is full; the caller should back off and retry."""
+
+
+class ServiceStoppedError(ServiceError):
+    """The service is stopped (or draining) and accepts no new requests."""
+
+
+class RequestTimeoutError(ServiceError, TimeoutError):
+    """A request did not complete within its deadline.
+
+    For commits this means the ticket was abandoned by the *waiter* — the
+    merge worker may still apply the update later; the client must treat
+    the outcome as unknown.
+    """
+
+
+class UnknownSessionError(ServiceError, KeyError):
+    """A request referenced a session id that is not (or no longer) open."""

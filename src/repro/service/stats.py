@@ -1,0 +1,221 @@
+"""Service and per-session metrics.
+
+The service records every observable event into a thread-safe
+:class:`MetricsRecorder`; :meth:`MetricsRecorder.snapshot` freezes the
+counters into a :class:`ServiceStats` value object (plus one
+:class:`SessionStats` per session) that callers can hold without racing
+the live service.  Request latencies keep the most recent window (a
+bounded deque) and report p50/p99 over it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["SessionStats", "ServiceStats", "MetricsRecorder"]
+
+#: how many recent request latencies the percentile window retains
+LATENCY_WINDOW = 4096
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Frozen per-session counters."""
+
+    session_id: str
+    name: str
+    plans: int = 0
+    commits: int = 0
+    rejected_commits: int = 0
+    retries: int = 0
+    planned_loads: int = 0
+    #: plans whose reuse plan contained at least one EG load
+    reuse_hits: int = 0
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Frozen service-wide counters (one consistent snapshot)."""
+
+    #: latest published EG version
+    version: int = 0
+    open_sessions: int = 0
+    plans_total: int = 0
+    commits_total: int = 0
+    rejected_commits_total: int = 0
+    #: submissions bounced off the full update queue
+    overload_rejections: int = 0
+    retries_total: int = 0
+    queue_depth: int = 0
+    queue_capacity: int = 0
+    #: merge batches applied / workloads merged across them
+    batches: int = 0
+    merged_workloads: int = 0
+    max_batch_size: int = 0
+    merge_seconds_total: float = 0.0
+    max_merge_seconds: float = 0.0
+    planned_loads_total: int = 0
+    reuse_hits_total: int = 0
+    #: content removals still deferred for outstanding snapshot leases
+    deferred_evictions: int = 0
+    #: end-to-end request latencies observed in the sliding window
+    requests_timed: int = 0
+    request_p50_s: float = 0.0
+    request_p99_s: float = 0.0
+    sessions: dict[str, SessionStats] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.merged_workloads / self.batches if self.batches else 0.0
+
+    @property
+    def mean_merge_seconds(self) -> float:
+        return self.merge_seconds_total / self.batches if self.batches else 0.0
+
+    @property
+    def reuse_hit_rate(self) -> float:
+        return self.reuse_hits_total / self.plans_total if self.plans_total else 0.0
+
+
+class _SessionCounters:
+    __slots__ = ("name", "plans", "commits", "rejected", "retries", "planned_loads", "reuse_hits")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.plans = 0
+        self.commits = 0
+        self.rejected = 0
+        self.retries = 0
+        self.planned_loads = 0
+        self.reuse_hits = 0
+
+
+class MetricsRecorder:
+    """Thread-safe event counters behind the service's stats surface."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sessions: dict[str, _SessionCounters] = {}
+        self._plans = 0
+        self._commits = 0
+        self._rejected = 0
+        self._overloads = 0
+        self._retries = 0
+        self._batches = 0
+        self._merged = 0
+        self._max_batch = 0
+        self._merge_seconds = 0.0
+        self._max_merge_seconds = 0.0
+        self._planned_loads = 0
+        self._reuse_hits = 0
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    # ------------------------------------------------------------------
+    def register_session(self, session_id: str, name: str) -> None:
+        with self._lock:
+            self._sessions.setdefault(session_id, _SessionCounters(name))
+
+    def record_plan(self, session_id: str, planned_loads: int) -> None:
+        with self._lock:
+            self._plans += 1
+            self._planned_loads += planned_loads
+            hit = 1 if planned_loads > 0 else 0
+            self._reuse_hits += hit
+            counters = self._sessions.get(session_id)
+            if counters is not None:
+                counters.plans += 1
+                counters.planned_loads += planned_loads
+                counters.reuse_hits += hit
+
+    def record_commit(self, session_id: str, merged: bool) -> None:
+        with self._lock:
+            counters = self._sessions.get(session_id)
+            if merged:
+                self._commits += 1
+                if counters is not None:
+                    counters.commits += 1
+            else:
+                self._rejected += 1
+                if counters is not None:
+                    counters.rejected += 1
+
+    def record_overload(self) -> None:
+        with self._lock:
+            self._overloads += 1
+
+    def record_retry(self, session_id: str) -> None:
+        with self._lock:
+            self._retries += 1
+            counters = self._sessions.get(session_id)
+            if counters is not None:
+                counters.retries += 1
+
+    def record_batch(self, batch_size: int, merge_seconds: float) -> None:
+        with self._lock:
+            self._batches += 1
+            self._merged += batch_size
+            self._max_batch = max(self._max_batch, batch_size)
+            self._merge_seconds += merge_seconds
+            self._max_merge_seconds = max(self._max_merge_seconds, merge_seconds)
+
+    def record_request_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
+
+    # ------------------------------------------------------------------
+    def snapshot(
+        self,
+        version: int,
+        open_sessions: int,
+        queue_depth: int,
+        queue_capacity: int,
+        deferred_evictions: int,
+    ) -> ServiceStats:
+        with self._lock:
+            ordered = sorted(self._latencies)
+            sessions = {
+                session_id: SessionStats(
+                    session_id=session_id,
+                    name=counters.name,
+                    plans=counters.plans,
+                    commits=counters.commits,
+                    rejected_commits=counters.rejected,
+                    retries=counters.retries,
+                    planned_loads=counters.planned_loads,
+                    reuse_hits=counters.reuse_hits,
+                )
+                for session_id, counters in self._sessions.items()
+            }
+            return ServiceStats(
+                version=version,
+                open_sessions=open_sessions,
+                plans_total=self._plans,
+                commits_total=self._commits,
+                rejected_commits_total=self._rejected,
+                overload_rejections=self._overloads,
+                retries_total=self._retries,
+                queue_depth=queue_depth,
+                queue_capacity=queue_capacity,
+                batches=self._batches,
+                merged_workloads=self._merged,
+                max_batch_size=self._max_batch,
+                merge_seconds_total=self._merge_seconds,
+                max_merge_seconds=self._max_merge_seconds,
+                planned_loads_total=self._planned_loads,
+                reuse_hits_total=self._reuse_hits,
+                deferred_evictions=deferred_evictions,
+                requests_timed=len(ordered),
+                request_p50_s=_percentile(ordered, 0.50),
+                request_p99_s=_percentile(ordered, 0.99),
+                sessions=sessions,
+            )

@@ -1,0 +1,206 @@
+"""Versioned, snapshot-isolated view over one Experiment Graph.
+
+The multi-tenant service serves two very different access patterns from
+one EG: many concurrent *readers* (optimize/plan requests, plus the client
+executions loading planned artifacts) and one serialized *writer* (the
+merge worker applying batched workload unions).  This module gives each
+side its own object:
+
+* the **working graph** — the single mutable :class:`ExperimentGraph`,
+  touched only by the merge path;
+* **published snapshots** — immutable structural copies of the working
+  graph, tagged with a monotonically increasing version.  Readers acquire
+  the latest snapshot through a :class:`SnapshotLease`; the read path is
+  one attribute load plus a pin-count bump, never a graph lock.
+
+Snapshots copy the *structure* (vertices, edges, per-vertex bookkeeping)
+but share the artifact *store* — payloads are content-addressed and
+immutable once stored, so sharing is safe as long as eviction respects
+readers.  That is the lease's second job: when a merge deselects an
+artifact, the content removal is **deferred** until no lease from an
+older version (whose snapshot may still claim the artifact materialized
+and plan a load of it) remains outstanding.  Deferred removals are
+processed on the merge path (never concurrently with readers' loads) and
+are cancelled if a later batch re-materializes the artifact first.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+
+import networkx as nx
+
+from ..eg.graph import ExperimentGraph
+from ..eg.storage import ArtifactStore
+
+__all__ = ["SnapshotLease", "VersionedExperimentGraph"]
+
+
+def copy_experiment_graph(eg: ExperimentGraph) -> ExperimentGraph:
+    """Structural copy of an EG: fresh vertex records, shared store.
+
+    ``EGVertex`` records are replicated (so later working-graph mutations
+    never leak into the copy) while ``ArtifactMeta`` instances are shared
+    — the codebase treats them as immutable, rebinding instead of
+    mutating (e.g. ``with_quality`` returns a new record).
+    """
+    copied = ExperimentGraph(eg.store)
+    graph = nx.DiGraph()
+    for vertex_id, attrs in eg.graph.nodes(data=True):
+        graph.add_node(vertex_id, vertex=replace(attrs["vertex"]))
+    for src, dst, attrs in eg.graph.edges(data=True):
+        graph.add_edge(src, dst, **dict(attrs))
+    copied.graph = graph
+    copied.source_ids = set(eg.source_ids)
+    copied.workloads_observed = eg.workloads_observed
+    return copied
+
+
+class SnapshotLease:
+    """A pinned, immutable EG snapshot; release when done reading.
+
+    Usable as a context manager.  ``eg`` must be treated as read-only;
+    loads through ``eg.load`` are safe for the lease's lifetime — evicted
+    content outlives every lease that could still reference it.
+    """
+
+    __slots__ = ("eg", "version", "_owner", "_released")
+
+    def __init__(self, eg: ExperimentGraph, version: int, owner: "VersionedExperimentGraph"):
+        self.eg = eg
+        self.version = version
+        self._owner = owner
+        self._released = False
+
+    def release(self) -> None:
+        """Drop the pin (idempotent)."""
+        if not self._released:
+            self._released = True
+            self._owner._release(self)
+
+    def __enter__(self) -> "SnapshotLease":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.release()
+
+
+class VersionedExperimentGraph:
+    """Single-writer/many-reader version chain over one Experiment Graph."""
+
+    def __init__(
+        self,
+        eg: ExperimentGraph | None = None,
+        store: ArtifactStore | None = None,
+    ):
+        if eg is not None and store is not None and eg.store is not store:
+            raise ValueError("pass either an EG or a store, not a conflicting pair")
+        self._working = eg if eg is not None else ExperimentGraph(store)
+        self._lock = threading.Lock()
+        self._version = 0
+        self._published = copy_experiment_graph(self._working)
+        #: version -> number of outstanding leases
+        self._pins: dict[int, int] = {}
+        #: vertex id -> first version whose readers no longer need it: the
+        #: content may be removed once every pin is >= that version
+        self._deferred: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Writer side (merge path only)
+    # ------------------------------------------------------------------
+    @property
+    def working(self) -> ExperimentGraph:
+        """The mutable EG; only the (serialized) merge path may touch it."""
+        return self._working
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def publish(self) -> int:
+        """Copy the working graph and atomically make it the latest snapshot."""
+        snapshot = copy_experiment_graph(self._working)
+        with self._lock:
+            self._version += 1
+            self._published = snapshot
+            return self._version
+
+    def replace(self, eg: ExperimentGraph) -> int:
+        """Swap in a different working EG (e.g. one restored from disk)."""
+        self._working = eg
+        with self._lock:
+            self._deferred.clear()
+        return self.publish()
+
+    def defer_unmaterialize(self, vertex_id: str) -> int:
+        """Eviction hook for the batch updater.
+
+        Removes the content immediately when no reader could reference it;
+        otherwise records it for :meth:`flush_deferred`.  Always returns 0
+        bytes "released now" in the deferred case.
+        """
+        with self._lock:
+            if not self._pins:
+                defer = False
+            else:
+                defer = True
+                self._deferred[vertex_id] = self._version + 1
+        if defer:
+            return 0
+        return self._working.store.remove(vertex_id)
+
+    def flush_deferred(self) -> int:
+        """Process deferred removals that no outstanding lease can read.
+
+        Called on the merge path (after publish) and at service shutdown,
+        so it never races a reader's in-flight load.  Returns bytes
+        released.  An artifact re-materialized since its deferral is
+        dropped from the queue untouched.
+        """
+        with self._lock:
+            min_pin = min(self._pins) if self._pins else None
+            ready: list[str] = []
+            for vertex_id in sorted(self._deferred):
+                if (
+                    vertex_id in self._working
+                    and self._working.vertex(vertex_id).materialized
+                ):
+                    del self._deferred[vertex_id]
+                    continue
+                if min_pin is None or min_pin >= self._deferred[vertex_id]:
+                    ready.append(vertex_id)
+            for vertex_id in ready:
+                del self._deferred[vertex_id]
+        released = 0
+        for vertex_id in ready:
+            released += self._working.store.remove(vertex_id)
+        return released
+
+    @property
+    def deferred_evictions(self) -> int:
+        with self._lock:
+            return len(self._deferred)
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def acquire(self) -> SnapshotLease:
+        """Pin and return the latest published snapshot."""
+        with self._lock:
+            lease = SnapshotLease(self._published, self._version, self)
+            self._pins[self._version] = self._pins.get(self._version, 0) + 1
+            return lease
+
+    def _release(self, lease: SnapshotLease) -> None:
+        with self._lock:
+            remaining = self._pins.get(lease.version, 0) - 1
+            if remaining > 0:
+                self._pins[lease.version] = remaining
+            else:
+                self._pins.pop(lease.version, None)
+
+    @property
+    def pinned_leases(self) -> int:
+        with self._lock:
+            return sum(self._pins.values())

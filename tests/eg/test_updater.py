@@ -1,10 +1,11 @@
-"""Tests for the Updater: source storage, union, reconciliation."""
+"""Tests for the Updater: source storage, union, batching, conflicts."""
 
 import numpy as np
 import pytest
 
 from repro.dataframe import DataFrame
 from repro.eg.graph import ExperimentGraph
+from repro.eg.storage import ArtifactDivergenceError
 from repro.eg.updater import Updater
 from repro.graph.dag import WorkloadDAG
 from repro.graph.operations import DataOperation
@@ -90,3 +91,107 @@ class TestUpdater:
         updater.update(executed_workload())
         non_source = [v for v in eg.artifact_vertices() if not v.is_source]
         assert all(v.frequency == 2 for v in non_source)
+
+
+def divergent_workload(columns=("x", "zzz"), size_shift=0.0) -> WorkloadDAG:
+    """Same vertex ids as ``executed_workload`` but different payload shape."""
+    dag = WorkloadDAG()
+    current = dag.add_source("src", payload=DataFrame({"x": np.arange(5.0)}))
+    for index in range(2):
+        current = dag.add_operation([current], Step(index))
+        frame = DataFrame({name: np.arange(5.0) + size_shift for name in columns})
+        dag.vertex(current).record_result(frame, compute_time=1.0)
+    dag.mark_terminal(current)
+    return dag
+
+
+class TestBatchUpdater:
+    def test_batch_equivalent_to_sequential(self):
+        """One batched pass must produce the same EG as N single updates."""
+        sequential = ExperimentGraph()
+        seq_updater = Updater(sequential, MaterializeAll())
+        batched = ExperimentGraph()
+        batch_updater = Updater(batched, MaterializeAll())
+
+        workloads = [executed_workload(n) for n in (1, 3, 2)]
+        for workload in workloads:
+            seq_updater.update(workload)
+        report = batch_updater.update_batch([executed_workload(n) for n in (1, 3, 2)])
+
+        assert report.merged_workloads == 3
+        assert report.rejected_workloads == 0
+        assert batched.num_vertices == sequential.num_vertices
+        assert batched.materialized_ids() == sequential.materialized_ids()
+        assert batched.store.total_bytes == sequential.store.total_bytes
+        for vertex in sequential.artifact_vertices():
+            assert batched.vertex(vertex.vertex_id).frequency == vertex.frequency
+
+    def test_batch_single_materialization_outcomes(self):
+        eg = ExperimentGraph()
+        report = Updater(eg, MaterializeAll()).update_batch(
+            [executed_workload(2), executed_workload(2)]
+        )
+        assert report.outcomes == [1, 0]  # second workload adds no new source
+        assert report.new_sources == 1
+
+    def test_column_conflict_rejected(self):
+        eg = ExperimentGraph()
+        updater = Updater(eg, MaterializeAll())
+        updater.update(executed_workload(2))
+        with pytest.raises(ArtifactDivergenceError, match="columns"):
+            updater.update(divergent_workload())
+
+    def test_size_conflict_rejected(self):
+        eg = ExperimentGraph()
+        updater = Updater(eg, MaterializeAll())
+        updater.update(executed_workload(2))
+        # same columns, different frame length: the size check must fire
+        dag = WorkloadDAG()
+        current = dag.add_source("src", payload=DataFrame({"x": np.arange(5.0)}))
+        for index in range(2):
+            current = dag.add_operation([current], Step(index))
+            dag.vertex(current).record_result(
+                DataFrame({"x": np.arange(9.0)}), compute_time=1.0
+            )
+        dag.mark_terminal(current)
+        with pytest.raises(ArtifactDivergenceError, match="bytes"):
+            updater.update(dag)
+
+    def test_conflicting_workload_rejected_from_batch_others_merge(self):
+        eg = ExperimentGraph()
+        updater = Updater(eg, MaterializeAll())
+        updater.update(executed_workload(2))
+        before = eg.workloads_observed
+        report = updater.update_batch([divergent_workload(), executed_workload(3)])
+        assert report.rejected_workloads == 1
+        assert report.merged_workloads == 1
+        assert isinstance(report.outcomes[0], ArtifactDivergenceError)
+        assert report.outcomes[1] == 0
+        # the rejected workload contributed nothing
+        assert eg.workloads_observed == before + 1
+
+    def test_intra_batch_conflict_detected(self):
+        """The second workload conflicts with the first one *of the batch*."""
+        eg = ExperimentGraph()
+        report = Updater(eg, MaterializeAll()).update_batch(
+            [executed_workload(2), divergent_workload()]
+        )
+        assert report.merged_workloads == 1
+        assert isinstance(report.outcomes[1], ArtifactDivergenceError)
+
+    def test_custom_evictor_receives_deselections(self):
+        eg = ExperimentGraph()
+        Updater(eg, MaterializeAll()).update(executed_workload(2))
+        evicted: list[str] = []
+
+        def evictor(vertex_id: str) -> int:
+            evicted.append(vertex_id)
+            return eg.store.remove(vertex_id)
+
+        report = Updater(eg, MaterializeNone()).update_batch(
+            [executed_workload(2)], evict=evictor
+        )
+        assert sorted(evicted) == sorted(report.evicted)
+        assert len(evicted) == 2
+        # the updater cleared the flags itself; the evictor only removed content
+        assert all(not eg.vertex(v).materialized for v in evicted)

@@ -23,6 +23,12 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Figure 9d" in out
 
+    def test_swarm(self, capsys):
+        assert main(["swarm", "--clients", "4", "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Swarm: 4 concurrent clients" in out
+        assert "sequential commit-order replay identical: True" in out
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])

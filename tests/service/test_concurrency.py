@@ -1,0 +1,41 @@
+"""Concurrency correctness: N tenants must equal a sequential replay."""
+
+from repro.experiments.swarm import eg_fingerprint, replay_sequentially, run_swarm
+
+
+class TestSwarmEquivalence:
+    def test_eight_clients_match_sequential_replay(self):
+        """The acceptance check: 8 concurrent tenants, batched merges, and a
+        final EG bit-identical to replaying the commit log sequentially."""
+        result = run_swarm(clients=8, rounds=3, op_seconds=0.02)
+        assert result.workloads == 24
+        assert result.fingerprint_match is True
+        # merges actually batched (the linger coalesces concurrent commits)
+        assert result.stats.mean_batch_size > 1.0
+        # tenants planned against each other's merged artifacts
+        assert result.stats.reuse_hits_total > 0
+        assert result.stats.rejected_commits_total == 0
+        assert result.stats.retries_total == 0
+
+    def test_replay_follows_commit_order(self):
+        result = run_swarm(clients=4, rounds=2, op_seconds=0.01)
+        assert len(result.commit_labels) == 8
+        # replaying in a DIFFERENT order still matches here only if the
+        # recorded order happens to be equivalent; the recorded order must
+        # always match, which is what the experiment asserts
+        replayed = replay_sequentially(result.commit_labels, op_seconds=0.01)
+        assert eg_fingerprint(replayed) == result.concurrent_fingerprint
+
+    def test_counters_are_structurally_deterministic(self):
+        """EG structure counters must not depend on batching/timing."""
+        first = run_swarm(clients=6, rounds=2, op_seconds=0.01, replay=False)
+        second = run_swarm(
+            clients=6, rounds=2, op_seconds=0.01, batch_linger_s=0.0, replay=False
+        )
+        assert first.eg_vertices == second.eg_vertices
+        assert first.eg_edges == second.eg_edges
+        assert first.eg_materialized == second.eg_materialized
+        assert first.store_bytes == second.store_bytes
+        # NOTE: full fingerprints may differ between independent runs —
+        # ``last_seen`` depends on the commit order the scheduler produced;
+        # each run still matches its OWN commit-order replay exactly

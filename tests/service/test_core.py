@@ -1,0 +1,232 @@
+"""Tests for EGService: sessions, queueing, batching, shutdown, stats."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.client.executor import VirtualCostModel
+from repro.dataframe import DataFrame
+from repro.eg.storage import ArtifactDivergenceError
+from repro.graph.dag import WorkloadDAG
+from repro.graph.operations import DataOperation
+from repro.materialization.simple import MaterializeAll
+from repro.service import (
+    EGService,
+    RequestTimeoutError,
+    ServiceClient,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    UnknownSessionError,
+)
+
+
+class Step(DataOperation):
+    def __init__(self, tag):
+        super().__init__("step", params={"tag": tag})
+
+    def run(self, underlying_data):
+        return underlying_data
+
+
+def executed_workload(n_steps: int = 2, columns=("x",)) -> WorkloadDAG:
+    dag = WorkloadDAG()
+    current = dag.add_source("src", payload=DataFrame({"x": np.arange(5.0)}))
+    for index in range(n_steps):
+        current = dag.add_operation([current], Step(index))
+        frame = DataFrame({name: np.arange(5.0) + index for name in columns})
+        dag.vertex(current).record_result(frame, compute_time=1.0)
+    dag.mark_terminal(current)
+    return dag
+
+
+class TestSessions:
+    def test_open_and_close(self):
+        with EGService(MaterializeAll()) as service:
+            session = service.open_session("alice")
+            assert session.name == "alice"
+            assert service.stats().open_sessions == 1
+            service.close_session(session.session_id)
+            assert service.stats().open_sessions == 0
+
+    def test_unknown_session_rejected(self):
+        with EGService(MaterializeAll()) as service:
+            with pytest.raises(UnknownSessionError):
+                service.commit("s9999", executed_workload())
+            with pytest.raises(UnknownSessionError):
+                service.plan("s9999", executed_workload())
+
+
+class TestInlineCommit:
+    def test_commit_merges_and_publishes(self):
+        with EGService(MaterializeAll()) as service:
+            session = service.open_session()
+            result = service.commit(session.session_id, executed_workload())
+            assert result.commit_index == 1
+            assert result.version == 1
+            assert result.new_sources == 1
+            assert service.versioned.version == 1
+            assert service.eg.num_vertices == 3
+
+    def test_concurrent_inline_commits_all_merge(self):
+        service = EGService(MaterializeAll())
+        session = service.open_session()
+        errors = []
+
+        def commit(n):
+            try:
+                service.commit(session.session_id, executed_workload(n))
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=commit, args=(n,)) for n in (1, 2, 3, 4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert service.stats().commits_total == 4
+        log = service.commit_log()
+        assert [r.commit_index for r in log] == [1, 2, 3, 4]
+        service.stop()
+
+    def test_divergent_commit_raises_and_rest_merge(self):
+        with EGService(MaterializeAll()) as service:
+            session = service.open_session()
+            service.commit(session.session_id, executed_workload())
+            with pytest.raises(ArtifactDivergenceError):
+                service.commit(session.session_id, executed_workload(columns=("x", "y")))
+            stats = service.stats()
+            assert stats.rejected_commits_total == 1
+            assert stats.commits_total == 1
+
+
+class TestBackgroundWorker:
+    def test_blocked_worker_coalesces_into_one_batch(self):
+        service = EGService(MaterializeAll(), background=True)
+        session = service.open_session()
+        with service._merge_lock:  # hold the worker off the queue
+            tickets = [
+                service.submit_update(session.session_id, executed_workload(n))
+                for n in (1, 2, 3)
+            ]
+            assert not any(t.done for t in tickets)
+        results = [t.wait(10.0) for t in tickets]
+        assert all(r.batch_size == 3 for r in results)
+        assert [r.commit_index for r in results] == [1, 2, 3]
+        stats = service.stats()
+        assert stats.batches == 1
+        assert stats.max_batch_size == 3
+        service.stop()
+
+    def test_overload_rejects_submission(self):
+        service = EGService(MaterializeAll(), queue_capacity=2, background=True)
+        session = service.open_session()
+        with service._merge_lock:
+            service.submit_update(session.session_id, executed_workload(1))
+            service.submit_update(session.session_id, executed_workload(2))
+            with pytest.raises(ServiceOverloadedError):
+                service.submit_update(session.session_id, executed_workload(3))
+        assert service.stats().overload_rejections == 1
+        service.stop()
+
+    def test_client_retries_through_overload(self):
+        service = EGService(MaterializeAll(), queue_capacity=1, background=True)
+        blocker = service.open_session()
+        lock_released = threading.Event()
+
+        service._merge_lock.acquire()
+        service.submit_update(blocker.session_id, executed_workload(1))
+
+        def release_later():
+            lock_released.wait(5.0)
+            service._merge_lock.release()
+
+        releaser = threading.Thread(target=release_later)
+        releaser.start()
+        client = ServiceClient(service, name="patient", cost_model=VirtualCostModel())
+        # the client's first commit attempts bounce off the full queue and
+        # back off; releasing the merge lock lets a retry succeed
+        lock_released.set()
+        from repro.workloads.synthetic_dag import wide_workload_script
+
+        rng = np.random.default_rng(7)
+        report = client.run_script(
+            wide_workload_script(2, 2, 0.01),
+            {"wide": DataFrame({"x": rng.normal(size=8)})},
+        )
+        releaser.join()
+        assert report.executed_vertices > 0
+        assert service.stats().commits_total == 2
+        service.stop()
+
+    def test_request_timeout_while_worker_blocked(self):
+        service = EGService(MaterializeAll(), background=True)
+        session = service.open_session()
+        with service._merge_lock:
+            ticket = service.submit_update(session.session_id, executed_workload())
+            with pytest.raises(RequestTimeoutError):
+                ticket.wait(0.05)
+        # the merge still applies after the waiter gave up
+        assert ticket.wait(10.0).commit_index == 1
+        service.stop()
+
+
+class TestShutdown:
+    def test_stop_drains_queued_commits(self):
+        service = EGService(MaterializeAll(), background=True)
+        session = service.open_session()
+        with service._merge_lock:
+            tickets = [
+                service.submit_update(session.session_id, executed_workload(n))
+                for n in (1, 2)
+            ]
+            stopper = threading.Thread(target=service.stop)
+            stopper.start()
+        stopper.join(10.0)
+        assert all(t.wait(1.0).commit_index in (1, 2) for t in tickets)
+        assert not service.running
+        with pytest.raises(ServiceStoppedError):
+            service.submit_update(session.session_id, executed_workload())
+        with pytest.raises(ServiceStoppedError):
+            service.open_session()
+
+    def test_stop_without_drain_fails_pending(self):
+        service = EGService(MaterializeAll(), background=True)
+        session = service.open_session()
+        with service._merge_lock:
+            ticket = service.submit_update(session.session_id, executed_workload())
+            service.stop(drain=False)
+        with pytest.raises(ServiceStoppedError):
+            ticket.wait(1.0)
+        assert service.stats().commits_total == 0
+
+    def test_stop_is_idempotent(self):
+        service = EGService(MaterializeAll())
+        service.stop()
+        service.stop()
+
+
+class TestStats:
+    def test_plan_and_latency_counters(self):
+        with EGService(MaterializeAll()) as service:
+            client = ServiceClient(service, name="c", cost_model=VirtualCostModel())
+            from repro.workloads.synthetic_dag import wide_workload_script
+
+            rng = np.random.default_rng(7)
+            sources = {"wide": DataFrame({"x": rng.normal(size=8)})}
+            client.run_script(wide_workload_script(2, 2, 0.05), sources)
+            client.run_script(wide_workload_script(2, 2, 0.05), sources)
+            stats = service.stats()
+            assert stats.plans_total == 2
+            assert stats.commits_total == 2
+            assert stats.reuse_hits_total == 1  # second run loads from the EG
+            assert stats.requests_timed == 2
+            assert stats.request_p99_s >= stats.request_p50_s > 0.0
+            assert stats.sessions[client.session_id].plans == 2
+
+    def test_snapshot_is_frozen(self):
+        with EGService(MaterializeAll()) as service:
+            stats = service.stats()
+            with pytest.raises(AttributeError):
+                stats.plans_total = 5

@@ -1,0 +1,144 @@
+"""Tests for the length-prefixed JSON TCP transport."""
+
+import numpy as np
+import pytest
+
+from repro.client.executor import VirtualCostModel
+from repro.dataframe import DataFrame
+from repro.graph.dag import WorkloadDAG
+from repro.graph.operations import DataOperation
+from repro.materialization.simple import MaterializeAll
+from repro.ml.linear import LogisticRegression
+from repro.service import EGService, UnknownSessionError
+from repro.service.tcp import (
+    ServiceTCPServer,
+    TCPServiceClient,
+    decode_payload,
+    decode_workload,
+    encode_payload,
+    encode_workload,
+)
+from repro.workloads.synthetic_dag import wide_workload_script
+
+
+def make_sources():
+    rng = np.random.default_rng(7)
+    return {"wide": DataFrame({"x": rng.normal(size=8), "y": rng.normal(size=8)})}
+
+
+class TestPayloadCodec:
+    def test_dataframe_roundtrip_preserves_lineage(self):
+        frame = make_sources()["wide"]
+        decoded = decode_payload(encode_payload(frame))
+        assert decoded.columns == frame.columns
+        assert decoded.column_ids == frame.column_ids
+        np.testing.assert_array_equal(decoded.column("x").values, frame.column("x").values)
+        assert decoded.nbytes == frame.nbytes
+
+    def test_ndarray_and_scalar_roundtrip(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        decoded = decode_payload(encode_payload(arr))
+        np.testing.assert_array_equal(decoded, arr)
+        assert decoded.dtype == arr.dtype
+        assert decode_payload(encode_payload(3.5)) == 3.5
+        assert decode_payload(encode_payload(np.float64(2.5))) == 2.5
+        assert decode_payload(encode_payload((1, "a"))) == (1, "a")
+
+    def test_models_are_not_transportable(self):
+        assert encode_payload(LogisticRegression()) is None
+
+
+class Step(DataOperation):
+    def __init__(self, tag):
+        super().__init__("step", params={"tag": tag})
+
+    def run(self, underlying_data):
+        return underlying_data
+
+
+class TestWorkloadCodec:
+    def test_structure_roundtrip(self):
+        dag = WorkloadDAG()
+        src = dag.add_source("src", payload=DataFrame({"x": np.arange(4.0)}))
+        a = dag.add_operation([src], Step(0))
+        b = dag.add_operation([src], Step(1))
+        joined = dag.add_operation([a, b], Step("join"))
+        dag.vertex(a).record_result(DataFrame({"x": np.arange(4.0)}), 1.0)
+        dag.vertex(b).record_result(DataFrame({"x": np.arange(4.0) + 1}), 1.0)
+        dag.vertex(joined).record_result(DataFrame({"x": np.arange(4.0) + 2}), 1.0)
+        dag.mark_terminal(joined)
+
+        decoded = decode_workload(encode_workload(dag, include_payloads=True))
+        decoded.validate()
+        assert set(decoded.graph.nodes) == set(dag.graph.nodes)
+        assert set(decoded.graph.edges) == set(dag.graph.edges)
+        assert decoded.terminals == dag.terminals
+        # operation identity survives (hashes are carried, not recomputed)
+        assert (
+            decoded.incoming_operation(joined).op_hash
+            == dag.incoming_operation(joined).op_hash
+        )
+        assert decoded.vertex(joined).computed
+        assert decoded.vertex(joined).meta.schema == dag.vertex(joined).meta.schema
+
+    def test_payload_free_encoding_keeps_flags(self):
+        dag = WorkloadDAG()
+        src = dag.add_source("src", payload=DataFrame({"x": np.arange(4.0)}))
+        step = dag.add_operation([src], Step(0))
+        dag.mark_terminal(step)
+        decoded = decode_workload(encode_workload(dag, include_payloads=False))
+        assert decoded.vertex(src).computed
+        assert decoded.vertex(src).data is None
+
+
+class TestEndToEnd:
+    def test_plan_commit_reuse_and_stats_over_tcp(self):
+        script = wide_workload_script(3, 2, 0.05)
+        with EGService(MaterializeAll()) as service:
+            with ServiceTCPServer(service) as server:
+                host, port = server.address
+                with TCPServiceClient(
+                    host, port, name="remote", cost_model=VirtualCostModel()
+                ) as client:
+                    assert client.ping() == 0
+                    first = client.run_script(script, make_sources(), label="w1")
+                    second = client.run_script(script, make_sources(), label="w2")
+                    assert first.executed_vertices == 6
+                    assert second.loaded_vertices == 3
+                    assert second.executed_vertices == 0
+                    stats = client.stats()
+                    assert stats["commits_total"] == 2
+                    assert stats["reuse_hit_rate"] == 0.5
+            # the server-side EG holds the merged workloads
+            assert service.eg.num_vertices == 7
+
+    def test_two_tcp_clients_share_the_graph(self):
+        script = wide_workload_script(2, 2, 0.05)
+        with EGService(MaterializeAll()) as service:
+            with ServiceTCPServer(service) as server:
+                host, port = server.address
+                with TCPServiceClient(
+                    host, port, name="a", cost_model=VirtualCostModel()
+                ) as alice:
+                    alice.run_script(script, make_sources())
+                with TCPServiceClient(
+                    host, port, name="b", cost_model=VirtualCostModel()
+                ) as bob:
+                    report = bob.run_script(script, make_sources())
+                assert report.loaded_vertices > 0  # bob reuses alice's work
+
+    def test_typed_errors_cross_the_wire(self):
+        with EGService(MaterializeAll()) as service:
+            with ServiceTCPServer(service) as server:
+                host, port = server.address
+                with TCPServiceClient(host, port) as client:
+                    with pytest.raises(UnknownSessionError):
+                        client.request(
+                            {
+                                "op": "plan",
+                                "session_id": "s9999",
+                                "workload": encode_workload(
+                                    WorkloadDAG(), include_payloads=False
+                                ),
+                            }
+                        )

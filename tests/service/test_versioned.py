@@ -1,0 +1,144 @@
+"""Tests for the versioned, snapshot-isolated Experiment Graph."""
+
+import numpy as np
+
+from repro.dataframe import DataFrame
+from repro.eg.graph import ExperimentGraph
+from repro.eg.updater import Updater
+from repro.graph.dag import WorkloadDAG
+from repro.graph.operations import DataOperation
+from repro.materialization.simple import MaterializeAll
+from repro.service.versioned import VersionedExperimentGraph, copy_experiment_graph
+
+
+class Step(DataOperation):
+    def __init__(self, tag):
+        super().__init__("step", params={"tag": tag})
+
+    def run(self, underlying_data):
+        return underlying_data
+
+
+def executed_workload(n_steps: int = 2) -> WorkloadDAG:
+    dag = WorkloadDAG()
+    current = dag.add_source("src", payload=DataFrame({"x": np.arange(5.0)}))
+    for index in range(n_steps):
+        current = dag.add_operation([current], Step(index))
+        dag.vertex(current).record_result(
+            DataFrame({"x": np.arange(5.0) + index}), compute_time=1.0
+        )
+    dag.mark_terminal(current)
+    return dag
+
+
+def populated_eg(n_steps: int = 2) -> ExperimentGraph:
+    eg = ExperimentGraph()
+    Updater(eg, MaterializeAll()).update(executed_workload(n_steps))
+    return eg
+
+
+class TestCopy:
+    def test_copy_shares_store_but_not_vertex_records(self):
+        eg = populated_eg()
+        copied = copy_experiment_graph(eg)
+        assert copied.store is eg.store
+        assert copied.num_vertices == eg.num_vertices
+        some_id = next(v.vertex_id for v in eg.artifact_vertices() if not v.is_source)
+        eg.vertex(some_id).frequency = 99
+        assert copied.vertex(some_id).frequency != 99
+
+    def test_copy_preserves_edges_and_bookkeeping(self):
+        eg = populated_eg(3)
+        copied = copy_experiment_graph(eg)
+        assert set(copied.graph.edges) == set(eg.graph.edges)
+        assert copied.workloads_observed == eg.workloads_observed
+        assert copied.source_ids == eg.source_ids
+        assert copied.materialized_ids() == eg.materialized_ids()
+
+
+class TestVersioning:
+    def test_publish_bumps_version_and_isolates_readers(self):
+        versioned = VersionedExperimentGraph(eg=populated_eg())
+        assert versioned.version == 0
+        lease = versioned.acquire()
+        before = lease.eg.num_vertices
+
+        Updater(versioned.working, MaterializeAll()).update(executed_workload(4))
+        # the pinned snapshot must not see the merge until republished
+        assert lease.eg.num_vertices == before
+        version = versioned.publish()
+        assert version == 1
+        assert lease.eg.num_vertices == before  # still the old snapshot
+        fresh = versioned.acquire()
+        assert fresh.eg.num_vertices > before
+        lease.release()
+        fresh.release()
+
+    def test_lease_is_context_manager_and_idempotent(self):
+        versioned = VersionedExperimentGraph(eg=populated_eg())
+        with versioned.acquire() as lease:
+            assert versioned.pinned_leases == 1
+        assert versioned.pinned_leases == 0
+        lease.release()  # second release is a no-op
+        assert versioned.pinned_leases == 0
+
+    def test_replace_swaps_working_and_republishes(self):
+        versioned = VersionedExperimentGraph(eg=populated_eg())
+        replacement = populated_eg(5)
+        version = versioned.replace(replacement)
+        assert versioned.working is replacement
+        assert version == versioned.version == 1
+        with versioned.acquire() as lease:
+            assert lease.eg.num_vertices == replacement.num_vertices
+
+
+class TestDeferredEviction:
+    def test_unpinned_eviction_is_immediate(self):
+        versioned = VersionedExperimentGraph(eg=populated_eg())
+        victim = next(
+            v.vertex_id
+            for v in versioned.working.artifact_vertices()
+            if v.materialized and not v.is_source
+        )
+        versioned.working.vertex(victim).materialized = False
+        released = versioned.defer_unmaterialize(victim)
+        assert released > 0
+        assert versioned.deferred_evictions == 0
+
+    def test_pinned_eviction_defers_until_lease_released(self):
+        versioned = VersionedExperimentGraph(eg=populated_eg())
+        lease = versioned.acquire()
+        victim = next(
+            v.vertex_id
+            for v in versioned.working.artifact_vertices()
+            if v.materialized and not v.is_source
+        )
+        versioned.working.vertex(victim).materialized = False
+        assert versioned.defer_unmaterialize(victim) == 0
+        assert versioned.deferred_evictions == 1
+        # the pinned reader can still load the deselected artifact
+        assert lease.eg.load(victim) is not None
+
+        versioned.publish()
+        assert versioned.flush_deferred() == 0  # old lease still outstanding
+        lease.release()
+        assert versioned.flush_deferred() > 0
+        assert versioned.deferred_evictions == 0
+        assert victim not in versioned.working.store
+
+    def test_rematerialization_cancels_deferred_eviction(self):
+        versioned = VersionedExperimentGraph(eg=populated_eg())
+        lease = versioned.acquire()
+        victim = next(
+            v.vertex_id
+            for v in versioned.working.artifact_vertices()
+            if v.materialized and not v.is_source
+        )
+        versioned.working.vertex(victim).materialized = False
+        versioned.defer_unmaterialize(victim)
+        # a later merge re-selects the artifact before the flush
+        versioned.working.vertex(victim).materialized = True
+        lease.release()
+        assert versioned.flush_deferred() == 0
+        assert versioned.deferred_evictions == 0
+        assert victim in versioned.working.store
