@@ -24,6 +24,7 @@ exits so accepted commits are never dropped.
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 import time
 from collections import deque
@@ -45,6 +46,8 @@ from .errors import (
 )
 from .stats import MetricsRecorder, ServiceStats
 from .versioned import SnapshotLease, VersionedExperimentGraph
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "ServiceSession",
@@ -263,11 +266,20 @@ class EGService:
             ticket.fail(ServiceStoppedError("service stopped before the merge"))
         if self._worker is not None:
             self._worker.join(timeout)
-        elif drain:
+            if self._worker.is_alive():
+                # a merge is still in flight past the deadline; leave the
+                # deferred removals to its flush rather than racing the
+                # working EG/store mid-merge
+                logger.warning("merge worker did not exit within %.1fs", timeout)
+                return
+            # worker exited: no merge can run, reclaim deferred removals
+            self.versioned.flush_deferred()
+        else:
+            # inline mode: serialize against any committer still draining
             with self._merge_lock:
-                self._drain_once()
-        # readers are gone by shutdown; reclaim every deferred removal
-        self.versioned.flush_deferred()
+                if drain:
+                    self._drain_once()
+                self.versioned.flush_deferred()
 
     @property
     def running(self) -> bool:
@@ -381,8 +393,14 @@ class EGService:
             if self.batch_linger_s > 0.0 and not draining:
                 # let near-simultaneous commits coalesce into one batch
                 time.sleep(self.batch_linger_s)
-            with self._merge_lock:
-                self._drain_once()
+            try:
+                with self._merge_lock:
+                    self._drain_once()
+            except Exception:  # noqa: BLE001 - the worker must outlive one bad batch
+                # every ticket in the failed batch already carries the
+                # error; dying here would leave later commits to time out
+                # against a silently dead service
+                logger.exception("EG merge batch failed; merge worker continuing")
 
     def _merge_inline(self, ticket: UpdateTicket) -> None:
         # another committing thread may have batched our ticket into its

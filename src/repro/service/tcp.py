@@ -11,7 +11,9 @@ the exception classes of :mod:`repro.service.errors`.
 
 Workload DAGs cross the wire *structurally* (vertices, edges, operation
 name/hash/params, terminals, pruning state); payloads are re-encoded per
-artifact kind.  Dataframes, numpy arrays, scalars and lists round-trip;
+artifact kind.  Dataframes, numpy arrays, scalars and lists round-trip
+(object-dtype columns only when every value is a string — anything else
+would be mutated by stringification under its content-addressed id);
 fitted estimators do not — a commit still merges their meta-data and
 measured costs (content stays unmaterialized), and a plan drops loads
 whose stored payload cannot be shipped, falling back to recomputation.
@@ -114,13 +116,16 @@ def encode_payload(payload: Any) -> dict[str, Any] | None:
         for name in payload.columns:
             column = payload.column(name)
             values = column.values
-            items = [str(v) for v in values] if values.dtype == object else values.tolist()
+            if values.dtype == object and not all(isinstance(v, str) for v in values):
+                # mirrors the object-dtype ndarray rule: stringifying
+                # would mutate content under its content-addressed id
+                return None
             columns.append(
                 {
                     "name": name,
                     "dtype": str(values.dtype),
                     "column_id": column.column_id,
-                    "values": items,
+                    "values": values.tolist(),
                 }
             )
         return {"kind": "frame", "columns": columns}

@@ -136,19 +136,17 @@ class VersionedExperimentGraph:
     def defer_unmaterialize(self, vertex_id: str) -> int:
         """Eviction hook for the batch updater.
 
-        Removes the content immediately when no reader could reference it;
-        otherwise records it for :meth:`flush_deferred`.  Always returns 0
-        bytes "released now" in the deferred case.
+        Always records the removal for :meth:`flush_deferred` — even with
+        no lease pinned right now, the *currently published* snapshot
+        still marks the artifact materialized, so a reader acquiring any
+        time before the next :meth:`publish` would plan a load of it.
+        The flush re-checks the pin floor under the lock after the
+        publish, so it cannot remove content a live lease can reach.
+        Returns 0: no bytes are ever released at defer time.
         """
         with self._lock:
-            if not self._pins:
-                defer = False
-            else:
-                defer = True
-                self._deferred[vertex_id] = self._version + 1
-        if defer:
-            return 0
-        return self._working.store.remove(vertex_id)
+            self._deferred[vertex_id] = self._version + 1
+        return 0
 
     def flush_deferred(self) -> int:
         """Process deferred removals that no outstanding lease can read.

@@ -172,6 +172,39 @@ class TestBackgroundWorker:
         service.stop()
 
 
+class FlakyMaterializer(MaterializeAll):
+    """Materializer that can be armed to blow up one batch."""
+
+    def __init__(self):
+        super().__init__()
+        self.fail_next = False
+
+    def select(self, eg, available):
+        if self.fail_next:
+            self.fail_next = False
+            raise RuntimeError("materializer exploded")
+        return super().select(eg, available)
+
+
+class TestMergeFailure:
+    def test_worker_survives_merge_error(self):
+        materializer = FlakyMaterializer()
+        service = EGService(materializer, background=True)
+        session = service.open_session()
+        service.commit(session.session_id, executed_workload(1))
+
+        materializer.fail_next = True
+        with pytest.raises(RuntimeError, match="materializer exploded"):
+            service.commit(session.session_id, executed_workload(2))
+
+        # the failed batch must not kill the daemon merge worker: a later
+        # commit still merges instead of timing out against a dead service
+        result = service.commit(session.session_id, executed_workload(3), timeout=10.0)
+        assert result.commit_index == 2
+        assert service.stats().commits_total == 2
+        service.stop()
+
+
 class TestShutdown:
     def test_stop_drains_queued_commits(self):
         service = EGService(MaterializeAll(), background=True)

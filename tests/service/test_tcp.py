@@ -47,6 +47,20 @@ class TestPayloadCodec:
     def test_models_are_not_transportable(self):
         assert encode_payload(LogisticRegression()) is None
 
+    def test_string_object_column_roundtrips(self):
+        frame = DataFrame({"label": np.array(["a", "b", "c"], dtype=object)})
+        decoded = decode_payload(encode_payload(frame))
+        assert decoded.column_ids == frame.column_ids
+        np.testing.assert_array_equal(
+            decoded.column("label").values, frame.column("label").values
+        )
+
+    def test_non_string_object_column_is_not_transportable(self):
+        # stringifying ints/None would ship mutated content under the
+        # same content-addressed id; the frame must fall back to recompute
+        frame = DataFrame({"mixed": np.array([1, None, "c"], dtype=object)})
+        assert encode_payload(frame) is None
+
 
 class Step(DataOperation):
     def __init__(self, tag):

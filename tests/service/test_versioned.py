@@ -93,7 +93,11 @@ class TestVersioning:
 
 
 class TestDeferredEviction:
-    def test_unpinned_eviction_is_immediate(self):
+    def test_unpinned_eviction_waits_for_publish(self):
+        # even with no lease pinned, the *published* snapshot still marks
+        # the artifact materialized until the next publish — removal must
+        # wait for the post-publish flush or a reader acquiring mid-merge
+        # would plan a load of already-removed content
         versioned = VersionedExperimentGraph(eg=populated_eg())
         victim = next(
             v.vertex_id
@@ -101,9 +105,18 @@ class TestDeferredEviction:
             if v.materialized and not v.is_source
         )
         versioned.working.vertex(victim).materialized = False
-        released = versioned.defer_unmaterialize(victim)
-        assert released > 0
+        assert versioned.defer_unmaterialize(victim) == 0
+        assert versioned.deferred_evictions == 1
+        # a reader acquiring between the defer and the publish still loads
+        lease = versioned.acquire()
+        assert lease.eg.load(victim) is not None
+        versioned.publish()
+        assert versioned.flush_deferred() == 0  # that mid-merge reader pins it
+        assert lease.eg.load(victim) is not None
+        lease.release()
+        assert versioned.flush_deferred() > 0
         assert versioned.deferred_evictions == 0
+        assert victim not in versioned.working.store
 
     def test_pinned_eviction_defers_until_lease_released(self):
         versioned = VersionedExperimentGraph(eg=populated_eg())
