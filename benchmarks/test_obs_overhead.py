@@ -1,0 +1,87 @@
+"""Observability overhead gate: tracing must be free when disabled.
+
+The default tracer is a no-op (``repro.obs.trace.NoopTracer``); every
+instrumented hot path pays only one shared-singleton context-manager
+entry per span.  Rather than an A/B wall-clock diff (noisy at benchmark
+scale), the gate is computed from first principles:
+
+1. run the swarm under the default no-op tracer and take its wall time,
+2. run the same swarm under an enabled in-memory tracer to count how
+   many spans the run actually emits,
+3. microbenchmark the no-op span path to get a per-span cost,
+
+then assert ``spans x per_span_cost`` — the total instrumentation cost
+the no-op run paid — stays under 3% of the measured wall time.
+"""
+
+import time
+
+from conftest import report
+
+from repro.experiments.swarm import run_swarm
+from repro.obs.sinks import InMemorySink
+from repro.obs.trace import NoopTracer, Tracer, use_tracer
+
+CLIENTS = 4
+ROUNDS = 3
+OP_SECONDS = 0.01
+
+MICROBENCH_ITERS = 20_000
+OVERHEAD_BUDGET = 0.03
+
+
+def _noop_span_cost() -> float:
+    """Per-span seconds of the disabled path (context-manager + lookup)."""
+    tracer = NoopTracer()
+    begin = time.perf_counter()
+    for _ in range(MICROBENCH_ITERS):
+        with tracer.span("bench.noop", vertex="abcdef012345", cache_hit=False):
+            pass
+    return (time.perf_counter() - begin) / MICROBENCH_ITERS
+
+
+def test_obs_overhead(benchmark):
+    def run():
+        return run_swarm(
+            clients=CLIENTS, rounds=ROUNDS, op_seconds=OP_SECONDS, replay=False
+        )
+
+    # 1) wall time under the default no-op tracer
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = result.wall_seconds
+
+    # 2) span census under an enabled tracer
+    memory = InMemorySink()
+    with use_tracer(Tracer(sinks=[memory])):
+        traced = run()
+    spans = memory.spans
+    by_name: dict[str, int] = {}
+    for span in spans:
+        by_name[span.name] = by_name.get(span.name, 0) + 1
+
+    # 3) projected cost the no-op run paid for those span sites
+    per_span = _noop_span_cost()
+    projected = len(spans) * per_span
+    ratio = projected / wall
+
+    report(
+        f"Obs overhead: {len(spans)} spans x {per_span * 1e9:.0f}ns noop "
+        f"= {projected * 1e3:.3f}ms over {wall:.2f}s wall "
+        f"({ratio * 100:.3f}% <= {OVERHEAD_BUDGET * 100:.0f}%)",
+        f"  spans by name: {dict(sorted(by_name.items()))}",
+    )
+
+    assert result.stats.commits_total == CLIENTS * ROUNDS
+    assert ratio < OVERHEAD_BUDGET
+
+    # the traced run must cover every instrumented subsystem
+    assert by_name["client.workload"] == CLIENTS * ROUNDS
+    assert by_name["service.commit"] == CLIENTS * ROUNDS
+    assert {"reuse.plan", "executor.execute", "service.merge_batch"} <= set(by_name)
+
+    # machine-independent counters for check_regression.py: span volume is
+    # a proxy for instrumentation creep on the hot paths
+    benchmark.extra_info["vc_exact_obs_workload_spans"] = by_name["client.workload"]
+    benchmark.extra_info["vc_exact_obs_commit_spans"] = by_name["service.commit"]
+    benchmark.extra_info["vc_obs_spans_total"] = len(spans)
+    assert traced.stats.commits_total == CLIENTS * ROUNDS

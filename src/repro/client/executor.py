@@ -37,6 +37,8 @@ from ..eg.storage import LoadCostModel, StorageTier
 from ..graph.artifacts import artifact_meta
 from ..graph.dag import WorkloadDAG
 from ..graph.operations import Operation, TrainOperation
+from ..obs.profile import ProfileReport
+from ..obs.trace import Span, SpanContext, get_tracer
 from ..reuse.plan import ReusePlan
 from ..reuse.warmstart import WarmstartAssignment
 from .scheduler import COMPUTE, LOAD, ReadySetScheduler
@@ -91,6 +93,9 @@ class ExecutionReport:
     #: artifact-store snapshot after the updater ran (bytes per tier,
     #: hit/promotion/demotion counters for tiered stores)
     store_stats: dict[str, Any] = field(default_factory=dict)
+    #: top-k spans by self time for this execution; populated only when a
+    #: real tracer is installed (stays ``None`` under the default no-op)
+    profile: ProfileReport | None = None
 
 
 @dataclass(frozen=True)
@@ -165,16 +170,25 @@ class Executor:
         }
         needed = plan.execution_set(workload)
 
+        tracer = get_tracer()
         started_wall = time.perf_counter()
-        if self.max_workers == 1:
-            self._execute_sequential(workload, eg, report, warm_by_vertex, needed, load_tiers)
-        else:
-            self._execute_parallel(workload, eg, report, warm_by_vertex, needed, load_tiers)
+        with tracer.span(
+            "executor.execute",
+            vertices=len(needed),
+            loads=len(load_tiers),
+            max_workers=self.max_workers,
+        ) as root_span:
+            if self.max_workers == 1:
+                self._execute_sequential(workload, eg, report, warm_by_vertex, needed, load_tiers)
+            else:
+                self._execute_parallel(workload, eg, report, warm_by_vertex, needed, load_tiers)
         report.wall_time = time.perf_counter() - started_wall
 
         for terminal in workload.terminals:
             report.terminal_values[terminal] = workload.vertex(terminal).data
         report.total_time = report.compute_time + report.load_time
+        if tracer.enabled and isinstance(root_span, Span):
+            report.profile = ProfileReport.from_trace(tracer, root_span)
         return report
 
     # ------------------------------------------------------------------
@@ -216,6 +230,10 @@ class Executor:
         load_outcomes: dict[str, _LoadOutcome] = {}
         compute_outcomes: dict[str, _ComputeOutcome] = {}
         first_error: BaseException | None = None
+        # capture the submitting thread's span context once: worker-side
+        # spans must parent to this execution's root span, never to whatever
+        # a previous task left on the worker thread's stack
+        parent_context = get_tracer().current_context()
 
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             in_flight: dict[Any, Any] = {}
@@ -233,10 +251,15 @@ class Executor:
                             eg,
                             task.vertex_id,
                             load_tiers[task.vertex_id],
+                            parent_context,
                         )
                     else:
                         future = pool.submit(
-                            self._compute_vertex, workload, task.vertex_id, warm_by_vertex
+                            self._compute_vertex,
+                            workload,
+                            task.vertex_id,
+                            warm_by_vertex,
+                            parent_context,
                         )
                     in_flight[future] = task
                 if not in_flight:
@@ -305,23 +328,32 @@ class Executor:
         eg: ExperimentGraph | None,
         vertex_id: str,
         tier: StorageTier,
+        parent: SpanContext | None = None,
     ) -> _LoadOutcome:
         assert eg is not None  # guaranteed by execute()
-        payload = eg.load(vertex_id)
-        record = eg.vertex(vertex_id)
-        cost = self.load_cost_model.cost_for_tier(record.size, tier)
-        vertex = workload.vertex(vertex_id)
-        vertex.data = payload
-        vertex.computed = True
-        vertex.size = record.size
-        vertex.meta = record.meta if record.meta is not None else artifact_meta(payload)
-        return _LoadOutcome(vertex_id, cost, tier is StorageTier.COLD)
+        with get_tracer().span(
+            "executor.load",
+            parent=parent,
+            vertex=vertex_id[:12],
+            tier=tier.value,
+            cache_hit=True,
+        ):
+            payload = eg.load(vertex_id)
+            record = eg.vertex(vertex_id)
+            cost = self.load_cost_model.cost_for_tier(record.size, tier)
+            vertex = workload.vertex(vertex_id)
+            vertex.data = payload
+            vertex.computed = True
+            vertex.size = record.size
+            vertex.meta = record.meta if record.meta is not None else artifact_meta(payload)
+            return _LoadOutcome(vertex_id, cost, tier is StorageTier.COLD)
 
     def _compute_vertex(
         self,
         workload: WorkloadDAG,
         vertex_id: str,
         warm_by_vertex: dict[str, WarmstartAssignment],
+        parent: SpanContext | None = None,
     ) -> _ComputeOutcome:
         vertex = workload.vertex(vertex_id)
         operation = workload.incoming_operation(vertex_id)
@@ -329,30 +361,38 @@ class Executor:
             raise RuntimeError(
                 f"vertex {vertex_id[:12]} needs computing but has no operation"
             )
-        payloads = self._input_payloads(workload, vertex_id)
-        underlying = payloads[0] if len(payloads) == 1 else payloads
+        with get_tracer().span(
+            "executor.compute",
+            parent=parent,
+            vertex=vertex_id[:12],
+            operation=type(operation).__name__,
+            cache_hit=False,
+        ) as span:
+            payloads = self._input_payloads(workload, vertex_id)
+            underlying = payloads[0] if len(payloads) == 1 else payloads
 
-        warm = warm_by_vertex.get(vertex_id)
-        warmstarted = False
-        started = time.perf_counter()
-        if warm is not None and isinstance(operation, TrainOperation):
-            payload = operation.run_warmstarted(underlying, warm.source_model)
-            warmstarted = True
-        else:
-            payload = operation.run(underlying)
-        measured = time.perf_counter() - started
+            warm = warm_by_vertex.get(vertex_id)
+            warmstarted = False
+            started = time.perf_counter()
+            if warm is not None and isinstance(operation, TrainOperation):
+                payload = operation.run_warmstarted(underlying, warm.source_model)
+                warmstarted = True
+            else:
+                payload = operation.run(underlying)
+            measured = time.perf_counter() - started
+            span.set_attribute("warmstarted", warmstarted)
 
-        recorded = self.cost_model.record(operation, measured)
-        warmstartable = isinstance(operation, TrainOperation) and operation.warmstartable
-        vertex.record_result(payload, recorded, warmstartable=warmstartable)
+            recorded = self.cost_model.record(operation, measured)
+            warmstartable = isinstance(operation, TrainOperation) and operation.warmstartable
+            vertex.record_result(payload, recorded, warmstartable=warmstartable)
 
-        quality: float | None = None
-        if isinstance(operation, TrainOperation):
-            score = operation.score(payload, underlying)
-            if score is not None and vertex.meta is not None:
-                vertex.meta = vertex.meta.with_quality(score)
-                quality = score
-        return _ComputeOutcome(vertex_id, recorded, warmstarted, quality)
+            quality: float | None = None
+            if isinstance(operation, TrainOperation):
+                score = operation.score(payload, underlying)
+                if score is not None and vertex.meta is not None:
+                    vertex.meta = vertex.meta.with_quality(score)
+                    quality = score
+            return _ComputeOutcome(vertex_id, recorded, warmstarted, quality)
 
     # ------------------------------------------------------------------
     # Atomic per-vertex report commits

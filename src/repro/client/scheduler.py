@@ -27,6 +27,7 @@ import heapq
 from dataclasses import dataclass, field
 
 from ..graph.dag import WorkloadDAG
+from ..obs.trace import get_tracer
 
 __all__ = ["ScheduledTask", "ReadySetScheduler", "LOAD", "COMPUTE"]
 
@@ -142,13 +143,35 @@ class ReadySetScheduler:
     def next_task(self) -> ScheduledTask:
         """Pop the highest-priority ready task (deterministic tie-break)."""
         _neg, vertex_id, kind = heapq.heappop(self._ready)
-        return self._states[(kind, vertex_id)].task
+        task = self._states[(kind, vertex_id)].task
+        # dispatch markers land on the executor's root span (the scheduler
+        # runs on the coordinating thread); None under the no-op tracer
+        span = get_tracer().current_span()
+        if span is not None:
+            span.add_event(
+                "scheduler.dispatch",
+                vertex=vertex_id[:12],
+                kind=kind,
+                priority=task.priority,
+            )
+        return task
 
     def mark_done(self, task: ScheduledTask) -> None:
         """Commit a finished task, releasing dependents into the ready set."""
         self._outstanding -= 1
+        released = 0
         for dependent in self._states[task.key].dependents:
             state = self._states[dependent]
             state.pending -= 1
             if state.pending == 0:
                 self._push(state.task)
+                released += 1
+        if released:
+            span = get_tracer().current_span()
+            if span is not None:
+                span.add_event(
+                    "scheduler.ready",
+                    vertex=task.vertex_id[:12],
+                    kind=task.kind,
+                    released=released,
+                )

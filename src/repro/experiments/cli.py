@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..obs import ChromeTraceSink, NoopTracer, Tracer, set_tracer
 from ..workloads.home_credit import generate_home_credit
 from ..workloads.openml import generate_credit_g, sample_pipeline_specs
 from ..workloads.synthetic_dag import SyntheticDAGConfig
@@ -127,9 +128,14 @@ def _run_fig10(credit, args) -> None:
 
 
 def _run_swarm(_sources, args) -> None:
+    from ..storage import TieredArtifactStore
     from .swarm import run_swarm
 
-    result = run_swarm(clients=args.clients, rounds=args.rounds)
+    # a small hot budget forces real demotions/promotions under
+    # concurrency, so traced runs show the tiered store's spans; byte
+    # accounting (store_bytes, fingerprints) is tier-independent
+    store = TieredArtifactStore(hot_budget_bytes=args.hot_budget_bytes)
+    result = run_swarm(clients=args.clients, rounds=args.rounds, store=store)
     stats = result.stats
     _print(
         f"Swarm: {result.clients} concurrent clients x {result.rounds} workloads "
@@ -205,25 +211,47 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--rounds", type=int, default=3, help="workloads per tenant in the swarm experiment"
     )
+    parser.add_argument(
+        "--hot-budget-bytes",
+        type=float,
+        default=8192,
+        help="swarm store's RAM budget (small values exercise the cold tier)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of the run (open in Perfetto)",
+    )
     parser.add_argument("--seed", type=int, default=42)
     args = parser.parse_args(argv)
 
-    wanted = (
-        list({**_KAGGLE_EXPERIMENTS, **_OPENML_EXPERIMENTS, **_STANDALONE})
-        if args.experiment == "all"
-        else [args.experiment]
-    )
-    kaggle_sources = None
-    credit_sources = None
-    for name in wanted:
-        if name in _KAGGLE_EXPERIMENTS:
-            if kaggle_sources is None:
-                kaggle_sources = generate_home_credit(n_applications=args.apps, seed=args.seed)
-            _KAGGLE_EXPERIMENTS[name](kaggle_sources, args)
-        elif name in _OPENML_EXPERIMENTS:
-            if credit_sources is None:
-                credit_sources = generate_credit_g(n_rows=1000, seed=31)
-            _OPENML_EXPERIMENTS[name](credit_sources, args)
-        else:
-            _STANDALONE[name](None, args)
+    tracer = None
+    if args.trace_out:
+        tracer = Tracer(sinks=[ChromeTraceSink(args.trace_out)])
+        set_tracer(tracer)
+    try:
+        wanted = (
+            list({**_KAGGLE_EXPERIMENTS, **_OPENML_EXPERIMENTS, **_STANDALONE})
+            if args.experiment == "all"
+            else [args.experiment]
+        )
+        kaggle_sources = None
+        credit_sources = None
+        for name in wanted:
+            if name in _KAGGLE_EXPERIMENTS:
+                if kaggle_sources is None:
+                    kaggle_sources = generate_home_credit(n_applications=args.apps, seed=args.seed)
+                _KAGGLE_EXPERIMENTS[name](kaggle_sources, args)
+            elif name in _OPENML_EXPERIMENTS:
+                if credit_sources is None:
+                    credit_sources = generate_credit_g(n_rows=1000, seed=31)
+                _OPENML_EXPERIMENTS[name](credit_sources, args)
+            else:
+                _STANDALONE[name](None, args)
+    finally:
+        if tracer is not None:
+            set_tracer(NoopTracer())
+            tracer.close()
+            _print(f"trace written to {args.trace_out}")
     return 0

@@ -32,6 +32,7 @@ import numpy as np
 from ..client.executor import VirtualCostModel
 from ..dataframe import DataFrame
 from ..eg.graph import ExperimentGraph
+from ..eg.storage import ArtifactStore
 from ..materialization import MaterializeAll
 from ..server.service import CollaborativeOptimizer
 from ..service import EGService, ServiceClient, ServiceStats
@@ -146,10 +147,19 @@ def run_swarm(
     batch_linger_s: float = 0.15,
     queue_capacity: int = 64,
     replay: bool = True,
+    store: ArtifactStore | None = None,
 ) -> SwarmResult:
-    """Run the swarm and (optionally) verify against a sequential replay."""
+    """Run the swarm and (optionally) verify against a sequential replay.
+
+    ``store`` overrides the service's artifact store (e.g. a
+    :class:`~repro.storage.TieredArtifactStore` with a small hot budget to
+    exercise demotions under concurrency); the fingerprint check is
+    store-independent — ``MaterializeAll`` and the virtual costs make the
+    merged EG identical regardless of where artifact bytes live.
+    """
     service = EGService(
         MaterializeAll(),
+        store=store,
         queue_capacity=queue_capacity,
         batch_linger_s=batch_linger_s,
         request_timeout_s=60.0,

@@ -1,0 +1,60 @@
+"""Unified observability layer: tracing, metrics, structured logging.
+
+See ``docs/OBSERVABILITY.md``.  Three independent pillars share this
+package so instrumented code needs one import surface:
+
+* :mod:`repro.obs.trace` — spans with thread-local context propagation;
+  the process-wide tracer defaults to a free no-op.
+* :mod:`repro.obs.metrics` — labeled counters/gauges/histograms with
+  Prometheus text exposition and a JSON snapshot.
+* :mod:`repro.obs.log` — ``repro``-namespaced structured logging with
+  trace/span-id correlation.
+* :mod:`repro.obs.sinks` / :mod:`repro.obs.profile` — span exporters
+  (JSON lines, Chrome trace events) and top-k self-time summaries.
+"""
+
+from .log import configure_logging, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    percentile,
+    set_registry,
+)
+from .profile import ProfileEntry, ProfileReport
+from .sinks import ChromeTraceSink, InMemorySink, JsonLinesSink
+from .trace import (
+    NoopTracer,
+    Span,
+    SpanContext,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "configure_logging",
+    "get_logger",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "percentile",
+    "ProfileEntry",
+    "ProfileReport",
+    "ChromeTraceSink",
+    "InMemorySink",
+    "JsonLinesSink",
+    "NoopTracer",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]

@@ -1,0 +1,128 @@
+"""Structured event log: the ``repro``-namespaced logging integration.
+
+Every module already logs through ``logging.getLogger(__name__)`` under
+the ``repro.`` namespace; this module adds the pieces that make those
+events *structured* and *correlated*:
+
+* :func:`get_logger` — the blessed accessor (normalizes any name under
+  the ``repro`` namespace);
+* :class:`TraceContextFilter` — stamps ``trace_id``/``span_id`` from the
+  calling thread's current span onto every record, so log lines join
+  traces in postmortems;
+* :class:`KeyValueFormatter` / :class:`JsonFormatter` — ``key=value``
+  text or one-JSON-object-per-line output, both carrying the trace
+  correlation fields;
+* :func:`configure_logging` — one-call setup used by tests and the
+  experiments CLI.
+
+Logging stays opt-in: nothing here installs handlers at import time, so
+library users keep full control of their logging tree.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Any, IO
+
+from .trace import get_tracer
+
+__all__ = [
+    "get_logger",
+    "TraceContextFilter",
+    "KeyValueFormatter",
+    "JsonFormatter",
+    "configure_logging",
+]
+
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (idempotent for repro.*)."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+class TraceContextFilter(logging.Filter):
+    """Injects the current span's ids into every record (empty when none)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        span = get_tracer().current_span()
+        record.trace_id = span.trace_id if span is not None else ""
+        record.span_id = span.span_id if span is not None else ""
+        return True
+
+
+def _correlation(record: logging.LogRecord) -> tuple[str, str]:
+    return getattr(record, "trace_id", ""), getattr(record, "span_id", "")
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=... level=... logger=... msg="..." trace_id=...`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage().replace('"', "'")
+        parts = [
+            f"ts={self.formatTime(record, datefmt='%Y-%m-%dT%H:%M:%S')}",
+            f"level={record.levelname}",
+            f"logger={record.name}",
+            f'msg="{message}"',
+        ]
+        trace_id, span_id = _correlation(record)
+        if trace_id:
+            parts.append(f"trace_id={trace_id}")
+            parts.append(f"span_id={span_id}")
+        if record.exc_info:
+            exception = self.formatException(record.exc_info).replace("\n", "\\n")
+            parts.append(f'exc="{exception}"')
+        return " ".join(parts)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, trace correlation included."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document: dict[str, Any] = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.localtime(record.created)
+            ),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        trace_id, span_id = _correlation(record)
+        if trace_id:
+            document["trace_id"] = trace_id
+            document["span_id"] = span_id
+        if record.exc_info:
+            document["exc"] = self.formatException(record.exc_info)
+        return json.dumps(document, separators=(",", ":"))
+
+
+def configure_logging(
+    level: int | str = logging.INFO,
+    stream: IO[str] | None = None,
+    fmt: str = "kv",
+) -> logging.Handler:
+    """Attach one structured handler to the ``repro`` root logger.
+
+    Idempotent: a handler installed by a previous call is replaced, not
+    stacked, so repeated configuration (tests, notebook re-runs) never
+    duplicates output.  ``fmt`` is ``"kv"`` or ``"json"``.
+    """
+    if fmt not in ("kv", "json"):
+        raise ValueError(f"unknown log format {fmt!r} (expected 'kv' or 'json')")
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(KeyValueFormatter() if fmt == "kv" else JsonFormatter())
+    handler.addFilter(TraceContextFilter())
+    setattr(handler, _HANDLER_TAG, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

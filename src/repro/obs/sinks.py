@@ -1,0 +1,173 @@
+"""Span sinks: where finished spans go.
+
+A sink is anything with ``on_span(span)`` and ``close()``.  Sinks must
+tolerate concurrent ``on_span`` calls — spans finish on whatever thread
+ran the work (executor workers, the merge worker, TCP handler threads).
+
+* :class:`InMemorySink` — collect spans in a list (tests, profiling).
+* :class:`JsonLinesSink` — one JSON object per span, appended as the
+  span finishes; greppable and streamable.
+* :class:`ChromeTraceSink` — the Chrome trace-event format
+  (``chrome://tracing`` / https://ui.perfetto.dev): buffered complete
+  events written as one JSON document on ``close()``, with per-thread
+  tracks named after the Python thread, so a parallel-executor run
+  renders as a per-worker timeline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import IO, Any
+
+from .trace import Span
+
+__all__ = ["InMemorySink", "JsonLinesSink", "ChromeTraceSink", "span_to_dict"]
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """Portable JSON form of one finished span."""
+    return {
+        "name": span.name,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start_s": span.start_s,
+        "duration_s": span.duration_s,
+        "thread": span.thread_name,
+        "attributes": _jsonable(span.attributes),
+        "events": [
+            {"ts_s": ts, "name": name, "attributes": _jsonable(attrs)}
+            for ts, name, attrs in span.events
+        ],
+    }
+
+
+def _jsonable(attributes: dict[str, Any]) -> dict[str, Any]:
+    safe: dict[str, Any] = {}
+    for key, value in attributes.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        else:
+            safe[key] = repr(value)
+    return safe
+
+
+class InMemorySink:
+    """Collects every finished span; ``spans`` is safe to read after work
+    quiesces (appends are guarded for concurrent finishers)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+
+    def on_span(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonLinesSink:
+    """Appends one JSON line per finished span to a file or stream."""
+
+    def __init__(self, target: str | Path | IO[str]):
+        if isinstance(target, (str, Path)):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self._lock = threading.Lock()
+
+    def on_span(self, span: Span) -> None:
+        line = json.dumps(span_to_dict(span), separators=(",", ":"))
+        with self._lock:
+            self._file.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            self._file.flush()
+            if self._owns_file:
+                self._file.close()
+
+
+class ChromeTraceSink:
+    """Exports spans as a Chrome trace-event JSON document.
+
+    Timestamps are the tracer's monotonic clock converted to
+    microseconds — the viewer only needs them consistent, not absolute.
+    Span categories are the first dotted segment of the span name
+    (``executor.load`` -> ``executor``), which gives Perfetto one color
+    per subsystem.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._events: list[dict[str, Any]] = []
+        self._threads: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _tid(self, thread_name: str) -> int:
+        tid = self._threads.get(thread_name)
+        if tid is None:
+            tid = len(self._threads) + 1
+            self._threads[thread_name] = tid
+        return tid
+
+    def on_span(self, span: Span) -> None:
+        args = _jsonable(span.attributes)
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        with self._lock:
+            tid = self._tid(span.thread_name)
+            self._events.append(
+                {
+                    "name": span.name,
+                    "cat": span.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": span.start_s * 1e6,
+                    "dur": span.duration_s * 1e6,
+                    "pid": os.getpid(),
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            for ts, name, attrs in span.events:
+                self._events.append(
+                    {
+                        "name": name,
+                        "cat": span.name.split(".", 1)[0],
+                        "ph": "i",
+                        "s": "t",
+                        "ts": ts * 1e6,
+                        "pid": os.getpid(),
+                        "tid": tid,
+                        "args": _jsonable(attrs),
+                    }
+                )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pid = os.getpid()
+            metadata = [
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread_name},
+                }
+                for thread_name, tid in sorted(self._threads.items(), key=lambda kv: kv[1])
+            ]
+            document = {"traceEvents": metadata + self._events, "displayTimeUnit": "ms"}
+            self.path.write_text(json.dumps(document), encoding="utf-8")

@@ -1,0 +1,336 @@
+"""Tracing core: spans, tracers, thread-local context propagation.
+
+A :class:`Span` is one timed region of work — a reuse-planning pass, one
+operator execution, a cold-tier disk read, a merge batch.  Spans carry a
+``trace_id`` shared by every span of one logical request (a client
+workload end to end, service merge included), a unique ``span_id``, the
+``parent_id`` linking them into a tree, free-form attributes, and
+monotonic start/end timestamps (``time.perf_counter`` — one process-wide
+clock, so spans from different threads order correctly on a timeline).
+
+Context propagation is thread-local: entering a span (``with
+tracer.span(...)``) makes it the *current* span of the calling thread,
+and spans created without an explicit parent attach to it.  Work handed
+to another thread does **not** inherit the submitter's context — the
+submitter captures ``span.context`` (or :func:`Tracer.current_context`)
+and passes it explicitly, exactly like the parallel executor does, so a
+worker's child spans parent to the submitting workload span and never to
+whatever another task left on that worker's stack.
+
+Tracing is **off by default and free when off**: the module-level tracer
+is a :class:`NoopTracer` whose ``span()`` returns one shared inert span
+object — no allocation, no id generation, no clock read, no sink call.
+``benchmarks/test_obs_overhead.py`` gates that this stays below 3% of
+the swarm benchmark's wall time.  Enable tracing by installing a real
+:class:`Tracer` with :func:`set_tracer` (or :func:`use_tracer` in
+tests); finished spans go to the tracer's sinks
+(:mod:`repro.obs.sinks`) and into a bounded in-memory ring the profiler
+reads (:mod:`repro.obs.profile`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+_span_counter = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def _new_span_id() -> str:
+    return f"{next(_span_counter):012x}"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The portable identity of a span: pass across threads or the wire."""
+
+    trace_id: str
+    span_id: str
+
+
+class Span:
+    """One timed region; use as a context manager or finish() manually.
+
+    Entering the span activates it on the calling thread (children
+    created there attach to it); a span that is never entered — e.g. one
+    the merge worker opens on behalf of a queued ticket — is finished
+    explicitly with :meth:`finish` and never touches any thread's stack.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "events",
+        "start_s",
+        "end_s",
+        "thread_name",
+        "_tracer",
+        "_activated",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        parent_id: str | None,
+        attributes: dict[str, Any],
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.events: list[tuple[float, str, dict[str, Any]]] = []
+        self.start_s = time.perf_counter()
+        self.end_s: float | None = None
+        self.thread_name = threading.current_thread().name
+        self._tracer = tracer
+        self._activated = False
+
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        """Seconds from start to finish (0.0 while still open)."""
+        return 0.0 if self.end_s is None else self.end_s - self.start_s
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time marker inside the span."""
+        self.events.append((time.perf_counter(), name, attributes))
+
+    def finish(self) -> None:
+        """Close the span and hand it to the tracer (idempotent)."""
+        if self.end_s is None:
+            self.end_s = time.perf_counter()
+            self._tracer._record(self)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._tracer._activate(self)
+        self._activated = True
+        return self
+
+    def __exit__(self, exc_type: type | None, exc: BaseException | None, _tb: object) -> None:
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        if self._activated:
+            self._tracer._deactivate(self)
+            self._activated = False
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, trace={self.trace_id}, id={self.span_id})"
+
+
+class _NoopSpan:
+    """The shared inert span the noop tracer hands out."""
+
+    __slots__ = ()
+
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    start_s = 0.0
+    end_s = 0.0
+    duration_s = 0.0
+    finished = True
+    context = None
+    attributes: dict[str, Any] = {}
+    events: list[tuple[float, str, dict[str, Any]]] = []
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Creates spans, tracks per-thread context, fans out to sinks.
+
+    ``keep_last`` bounds the in-memory ring of finished spans that
+    :meth:`finished_spans` / :meth:`spans_for_trace` read (the profiler's
+    data source); sinks receive every span regardless.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Iterator[Any] | list[Any] | tuple[Any, ...] = (), keep_last: int = 8192):
+        self._sinks = list(sinks)
+        self._finished: deque[Span] = deque(maxlen=keep_last)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Span creation and context
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        parent: Span | SpanContext | None = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span; with no explicit parent it attaches to the
+        calling thread's current span (or starts a fresh trace)."""
+        if parent is None:
+            parent = self.current_span()
+        if parent is None:
+            trace_id, parent_id = _new_trace_id(), None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        return Span(self, name, trace_id, parent_id, attributes)
+
+    def current_span(self) -> Span | None:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def current_context(self) -> SpanContext | None:
+        span = self.current_span()
+        return span.context if span is not None else None
+
+    # ------------------------------------------------------------------
+    # Internal hooks used by Span
+    # ------------------------------------------------------------------
+    def _activate(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _deactivate(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # unbalanced exit; drop defensively
+            stack.remove(span)
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+        for sink in self._sinks:
+            try:
+                sink.on_span(span)
+            except Exception:  # noqa: BLE001 - observability must not kill work
+                pass
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def finished_spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def spans_for_trace(self, trace_id: str) -> list[Span]:
+        with self._lock:
+            return [span for span in self._finished if span.trace_id == trace_id]
+
+    def close(self) -> None:
+        """Flush and close every sink (file sinks write out here)."""
+        for sink in self._sinks:
+            try:
+                sink.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+
+class NoopTracer:
+    """The default tracer: every operation is an inert constant."""
+
+    enabled = False
+
+    def span(
+        self,
+        name: str,
+        parent: Span | SpanContext | None = None,
+        **attributes: Any,
+    ) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def current_context(self) -> None:
+        return None
+
+    def finished_spans(self) -> list[Span]:
+        return []
+
+    def spans_for_trace(self, trace_id: str) -> list[Span]:
+        return []
+
+    def close(self) -> None:
+        pass
+
+
+_tracer: Tracer | NoopTracer = NoopTracer()
+
+
+def get_tracer() -> Tracer | NoopTracer:
+    """The process-wide tracer (a no-op unless one was installed)."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer | NoopTracer) -> Tracer | NoopTracer:
+    """Install the process-wide tracer; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NoopTracer):
+    """Temporarily install a tracer (tests and the CLI's --trace-out)."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -34,11 +34,16 @@ from __future__ import annotations
 from ..eg.graph import ExperimentGraph
 from ..eg.storage import LoadCostModel
 from ..graph.dag import WorkloadDAG
+from ..obs.log import get_logger
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .plan import ReusePlan
 
 __all__ = ["LinearReuse"]
 
 _INF = float("inf")
+
+logger = get_logger(__name__)
 
 
 class LinearReuse:
@@ -61,17 +66,36 @@ class LinearReuse:
     # ------------------------------------------------------------------
     def plan(self, workload: WorkloadDAG, eg: ExperimentGraph) -> ReusePlan:
         """Compute the optimal load/compute plan for a workload DAG."""
-        recreation_cost, candidates = self._forward_pass(workload, eg)
-        if self.backward_pass:
-            loads = self._backward_pass(workload, candidates)
-        else:
-            loads = candidates
-        plan = ReusePlan(
-            loads=loads,
-            recreation_costs=recreation_cost,
-            algorithm=self.name,
+        with get_tracer().span(
+            "reuse.plan", algorithm=self.name, vertices=workload.num_vertices
+        ) as span:
+            recreation_cost, candidates = self._forward_pass(workload, eg)
+            if self.backward_pass:
+                loads = self._backward_pass(workload, candidates)
+            else:
+                loads = candidates
+            plan = ReusePlan(
+                loads=loads,
+                recreation_costs=recreation_cost,
+                algorithm=self.name,
+            )
+            plan.estimated_cost = plan.plan_cost(workload, eg, self.load_cost_model)
+            span.set_attribute("candidates", len(candidates))
+            span.set_attribute("loads", len(loads))
+            span.set_attribute("estimated_cost", plan.estimated_cost)
+        registry = get_registry()
+        registry.counter(
+            "repro_planner_plans_total", "reuse-planning passes", ("algorithm",)
+        ).inc(algorithm=self.name)
+        registry.counter(
+            "repro_planner_loads_total", "vertices planned as EG loads", ("algorithm",)
+        ).inc(len(loads), algorithm=self.name)
+        logger.debug(
+            "reuse plan: %d candidates -> %d loads (est cost %.4f)",
+            len(candidates),
+            len(loads),
+            plan.estimated_cost,
         )
-        plan.estimated_cost = plan.plan_cost(workload, eg, self.load_cost_model)
         return plan
 
     # ------------------------------------------------------------------

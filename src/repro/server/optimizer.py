@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from ..eg.graph import ExperimentGraph
 from ..eg.storage import StorageTier
 from ..graph.dag import WorkloadDAG
+from ..obs.trace import get_tracer
 from ..reuse.plan import ReusePlan
 from ..reuse.warmstart import WarmstartAssignment, find_warmstart_assignments
 
@@ -54,21 +55,26 @@ class Optimizer:
         self.warmstart_policy = warmstart_policy
 
     def optimize(self, workload: WorkloadDAG) -> OptimizationResult:
-        started = time.perf_counter()
-        plan = self.reuse_algorithm.plan(workload, self.eg)
-        planning_seconds = time.perf_counter() - started
+        with get_tracer().span(
+            "optimizer.optimize", warmstarting=self.warmstarting
+        ) as span:
+            started = time.perf_counter()
+            plan = self.reuse_algorithm.plan(workload, self.eg)
+            planning_seconds = time.perf_counter() - started
 
-        warmstarts: list[WarmstartAssignment] = []
-        if self.warmstarting:
-            warmstarts = find_warmstart_assignments(
-                workload, self.eg, plan, policy=self.warmstart_policy
+            warmstarts: list[WarmstartAssignment] = []
+            if self.warmstarting:
+                warmstarts = find_warmstart_assignments(
+                    workload, self.eg, plan, policy=self.warmstart_policy
+                )
+            load_tiers = {
+                vertex_id: self.eg.tier_of(vertex_id) for vertex_id in plan.loads
+            }
+            span.set_attribute("loads", len(plan.loads))
+            span.set_attribute("warmstarts", len(warmstarts))
+            return OptimizationResult(
+                plan=plan,
+                warmstarts=warmstarts,
+                planning_seconds=planning_seconds,
+                load_tiers=load_tiers,
             )
-        load_tiers = {
-            vertex_id: self.eg.tier_of(vertex_id) for vertex_id in plan.loads
-        }
-        return OptimizationResult(
-            plan=plan,
-            warmstarts=warmstarts,
-            planning_seconds=planning_seconds,
-            load_tiers=load_tiers,
-        )

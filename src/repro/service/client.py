@@ -26,6 +26,7 @@ from ..client.executor import (
 from ..client.parser import parse_workload
 from ..graph.dag import WorkloadDAG
 from ..graph.pruning import prune_workload
+from ..obs.trace import get_tracer
 from .core import CommitResult, EGService
 from .errors import ServiceOverloadedError
 
@@ -90,20 +91,27 @@ class ServiceClient:
         prune_workload(workload)
         started = time.perf_counter()
 
-        plan = self.service.plan(self.session_id, workload)
-        try:
-            report = self.executor.execute(
-                workload,
-                plan=plan.result.plan,
-                eg=plan.eg,
-                warmstarts=plan.result.warmstarts,
-            )
-        finally:
-            plan.release()
-        report.optimizer_overhead = plan.result.planning_seconds
-        report.total_time += plan.result.planning_seconds
+        # the root span of one logical request: the service plan, every
+        # executor operation, and the merge-side commit span all share its
+        # trace id (the commit because the ticket captures this context)
+        with get_tracer().span(
+            "client.workload", session=self.session_id, label=label
+        ) as workload_span:
+            plan = self.service.plan(self.session_id, workload)
+            try:
+                report = self.executor.execute(
+                    workload,
+                    plan=plan.result.plan,
+                    eg=plan.eg,
+                    warmstarts=plan.result.warmstarts,
+                )
+            finally:
+                plan.release()
+            report.optimizer_overhead = plan.result.planning_seconds
+            report.total_time += plan.result.planning_seconds
 
-        self.last_commit = self._commit_with_retry(workload, label)
+            self.last_commit = self._commit_with_retry(workload, label)
+            workload_span.set_attribute("version", self.last_commit.version)
         report.store_stats = self.service.store_statistics()
         self.service.record_request_latency(time.perf_counter() - started)
         return report

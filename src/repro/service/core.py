@@ -29,12 +29,15 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..eg.graph import ExperimentGraph
 from ..eg.storage import ArtifactDivergenceError, ArtifactStore, LoadCostModel
 from ..eg.updater import BatchUpdateReport, Updater
 from ..graph.dag import WorkloadDAG
 from ..materialization.base import Materializer
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import SpanContext, get_tracer
 from ..reuse.linear import LinearReuse
 from ..server.optimizer import OptimizationResult, Optimizer
 from ..storage import TieredArtifactStore, TieredLoadCostModel
@@ -142,6 +145,12 @@ class UpdateTicket:
         self.session_id = session_id
         self.workload = workload
         self.label = label
+        #: submitting thread's span context — the merge worker parents its
+        #: per-commit span to it, so service work correlates by trace id
+        #: with the client workload that caused it
+        self.trace_parent: SpanContext | None = get_tracer().current_context()
+        #: set at enqueue time; the merge path turns it into queue-wait
+        self.enqueued_at: float = 0.0
         self._event = threading.Event()
         self._result: CommitResult | None = None
         self._error: BaseException | None = None
@@ -186,6 +195,7 @@ class EGService:
         batch_linger_s: float = 0.0,
         request_timeout_s: float = 30.0,
         background: bool = False,
+        metrics_registry: MetricsRegistry | None = None,
     ):
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be at least 1")
@@ -224,7 +234,25 @@ class EGService:
         self._commit_counter = 0
         self._log_lock = threading.Lock()
 
-        self._metrics = MetricsRecorder()
+        #: the service's metrics live in their own registry by default so
+        #: two services in one process never cross-count; pass a shared
+        #: registry to merge expositions
+        self.metrics_registry = (
+            metrics_registry if metrics_registry is not None else MetricsRegistry()
+        )
+        self._metrics = MetricsRecorder(self.metrics_registry)
+        self._version_gauge = self.metrics_registry.gauge(
+            "repro_service_version", "latest published EG version"
+        )
+        self._queue_gauge = self.metrics_registry.gauge(
+            "repro_service_queue_depth", "update-queue depth at last observation"
+        )
+        self._sessions_gauge = self.metrics_registry.gauge(
+            "repro_service_open_sessions", "sessions currently open"
+        )
+        self._deferred_gauge = self.metrics_registry.gauge(
+            "repro_service_deferred_evictions", "content removals awaiting leases"
+        )
         if background:
             self.start()
 
@@ -327,15 +355,18 @@ class EGService:
         """Optimize a (pruned) workload against the latest EG snapshot."""
         self._require_session(session_id)
         self._require_running()
-        lease = self.versioned.acquire()
-        try:
-            optimizer = Optimizer(
-                lease.eg, self.reuse_algorithm, self.warmstarting, self.warmstart_policy
-            )
-            result = optimizer.optimize(workload)
-        except BaseException:
-            lease.release()
-            raise
+        with get_tracer().span("service.plan", session=session_id) as span:
+            lease = self.versioned.acquire()
+            try:
+                optimizer = Optimizer(
+                    lease.eg, self.reuse_algorithm, self.warmstarting, self.warmstart_policy
+                )
+                result = optimizer.optimize(workload)
+            except BaseException:
+                lease.release()
+                raise
+            span.set_attribute("version", lease.version)
+            span.set_attribute("loads", len(result.plan.loads))
         self._metrics.record_plan(session_id, len(result.plan.loads))
         return ServicePlan(session_id=session_id, result=result, lease=lease)
 
@@ -362,6 +393,7 @@ class EGService:
                 raise ServiceOverloadedError(
                     f"update queue is full ({self.queue_capacity} pending)"
                 )
+            ticket.enqueued_at = time.perf_counter()
             self._queue.append(ticket)
             self._queue_cv.notify()
         if self._worker is None:
@@ -418,23 +450,45 @@ class EGService:
             self._queue.clear()
         if not batch:
             return 0
+        tracer = get_tracer()
         started = time.perf_counter()
-        try:
-            report = self.updater.update_batch(
-                [ticket.workload for ticket in batch],
-                evict=self.versioned.defer_unmaterialize,
+        # one commit span per ticket, parented to the *submitting* thread's
+        # span context so the service-side merge correlates by trace id with
+        # the client workload; never entered (this thread keeps no stack)
+        commit_spans = []
+        for ticket in batch:
+            wait_s = max(0.0, started - ticket.enqueued_at) if ticket.enqueued_at else 0.0
+            self._metrics.record_queue_wait(wait_s)
+            span = tracer.span(
+                "service.commit",
+                parent=ticket.trace_parent,
+                session=ticket.session_id,
+                label=ticket.label,
+                queue_wait_s=wait_s,
             )
-            version = self.versioned.publish()
-            self.versioned.flush_deferred()
-        except BaseException as error:  # noqa: BLE001 - must not strand tickets
-            for ticket in batch:
-                ticket.fail(error)
-            raise
+            commit_spans.append(span)
+        with tracer.span("service.merge_batch", batch_size=len(batch)) as batch_span:
+            try:
+                report = self.updater.update_batch(
+                    [ticket.workload for ticket in batch],
+                    evict=self.versioned.defer_unmaterialize,
+                )
+                version = self.versioned.publish()
+                self.versioned.flush_deferred()
+            except BaseException as error:  # noqa: BLE001 - must not strand tickets
+                for ticket, span in zip(batch, commit_spans):
+                    span.set_attribute("error", type(error).__name__)
+                    span.finish()
+                    ticket.fail(error)
+                raise
+            batch_span.set_attribute("version", version)
         merge_seconds = time.perf_counter() - started
 
-        for ticket, outcome in zip(batch, report.outcomes):
+        for ticket, outcome, span in zip(batch, report.outcomes, commit_spans):
             if isinstance(outcome, ArtifactDivergenceError):
                 self._metrics.record_commit(ticket.session_id, merged=False)
+                span.set_attribute("error", type(outcome).__name__)
+                span.finish()
                 ticket.fail(outcome)
                 continue
             with self._log_lock:
@@ -447,6 +501,9 @@ class EGService:
                 )
                 self._commit_log.append(record)
             self._metrics.record_commit(ticket.session_id, merged=True)
+            span.set_attribute("commit_index", record.commit_index)
+            span.set_attribute("version", version)
+            span.finish()
             ticket.resolve(
                 CommitResult(
                     commit_index=record.commit_index,
@@ -492,6 +549,7 @@ class EGService:
             queue_depth = len(self._queue)
         with self._registry_lock:
             open_sessions = len(self._sessions)
+        self._sync_gauges(queue_depth, open_sessions)
         return self._metrics.snapshot(
             version=self.versioned.version,
             open_sessions=open_sessions,
@@ -499,3 +557,27 @@ class EGService:
             queue_capacity=self.queue_capacity,
             deferred_evictions=self.versioned.deferred_evictions,
         )
+
+    def _sync_gauges(self, queue_depth: int, open_sessions: int) -> None:
+        """Refresh the point-in-time gauges the exposition reports."""
+        self._version_gauge.set(self.versioned.version)
+        self._queue_gauge.set(queue_depth)
+        self._sessions_gauge.set(open_sessions)
+        self._deferred_gauge.set(self.versioned.deferred_evictions)
+
+    def _observe_gauges(self) -> None:
+        with self._queue_cv:
+            queue_depth = len(self._queue)
+        with self._registry_lock:
+            open_sessions = len(self._sessions)
+        self._sync_gauges(queue_depth, open_sessions)
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the service's metrics registry."""
+        self._observe_gauges()
+        return self.metrics_registry.render_prometheus()
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """JSON-shaped snapshot of the service's metrics registry."""
+        self._observe_gauges()
+        return self.metrics_registry.snapshot()

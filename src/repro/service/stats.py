@@ -5,7 +5,21 @@ The service records every observable event into a thread-safe
 counters into a :class:`ServiceStats` value object (plus one
 :class:`SessionStats` per session) that callers can hold without racing
 the live service.  Request latencies keep the most recent window (a
-bounded deque) and report p50/p99 over it.
+bounded deque) and report p50/p99 over it with interpolated percentiles
+(:func:`repro.obs.metrics.percentile`).
+
+Since the observability layer landed, the recorder is a thin façade
+over a :class:`~repro.obs.metrics.MetricsRegistry`: every counter lives
+in the registry as a named, labeled instrument (per-session series are
+``session``-labeled), so the same numbers that feed :class:`ServiceStats`
+are also available as a Prometheus text exposition / JSON snapshot via
+the service's ``metrics`` surface.  The public API of this module is
+unchanged.
+
+Locking: each registry instrument guards itself, and :meth:`snapshot`
+reads each one into plain tuples before building any dataclass — so a
+snapshot never holds one big lock across the whole build and concurrent
+``record_*`` calls only ever wait for a single dict copy.
 """
 
 from __future__ import annotations
@@ -14,18 +28,16 @@ import threading
 from collections import deque
 from dataclasses import dataclass, field
 
-__all__ = ["SessionStats", "ServiceStats", "MetricsRecorder"]
+from ..obs.metrics import MetricsRegistry, percentile
+
+__all__ = ["SessionStats", "ServiceStats", "MetricsRecorder", "LATENCY_WINDOW"]
 
 #: how many recent request latencies the percentile window retains
 LATENCY_WINDOW = 4096
 
-
-def _percentile(ordered: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
-    if not ordered:
-        return 0.0
-    rank = max(0, min(len(ordered) - 1, round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
+#: request/queue-wait latency buckets (seconds) for the exposition
+#: histograms; the exact window percentiles come from the deque below
+_LATENCY_BUCKETS = (0.0005, 0.002, 0.01, 0.05, 0.2, 1.0, 5.0, 30.0)
 
 
 @dataclass(frozen=True)
@@ -87,92 +99,115 @@ class ServiceStats:
         return self.reuse_hits_total / self.plans_total if self.plans_total else 0.0
 
 
-class _SessionCounters:
-    __slots__ = ("name", "plans", "commits", "rejected", "retries", "planned_loads", "reuse_hits")
-
-    def __init__(self, name: str):
-        self.name = name
-        self.plans = 0
-        self.commits = 0
-        self.rejected = 0
-        self.retries = 0
-        self.planned_loads = 0
-        self.reuse_hits = 0
-
-
 class MetricsRecorder:
-    """Thread-safe event counters behind the service's stats surface."""
+    """Thread-safe event counters behind the service's stats surface.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._sessions: dict[str, _SessionCounters] = {}
-        self._plans = 0
-        self._commits = 0
-        self._rejected = 0
-        self._overloads = 0
-        self._retries = 0
-        self._batches = 0
-        self._merged = 0
-        self._max_batch = 0
-        self._merge_seconds = 0.0
-        self._max_merge_seconds = 0.0
-        self._planned_loads = 0
-        self._reuse_hits = 0
+    A façade over a :class:`MetricsRegistry`: pass one in to share it
+    (e.g. the service's registry that the TCP ``metrics`` op renders) or
+    let the recorder own a private one.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        session = ("session",)
+        self._plans = reg.counter(
+            "repro_service_plans_total", "optimize/plan requests served", session
+        )
+        self._planned_loads = reg.counter(
+            "repro_service_planned_loads_total", "EG loads planned across plans", session
+        )
+        self._reuse_hits = reg.counter(
+            "repro_service_reuse_hits_total", "plans with at least one EG load", session
+        )
+        self._commits = reg.counter(
+            "repro_service_commits_total", "workloads merged into the EG", session
+        )
+        self._rejected = reg.counter(
+            "repro_service_rejected_commits_total", "commits rejected by conflicts", session
+        )
+        self._retries = reg.counter(
+            "repro_service_retries_total", "client retries after backpressure", session
+        )
+        self._overloads = reg.counter(
+            "repro_service_overload_rejections_total",
+            "submissions bounced off the full update queue",
+        )
+        self._batches = reg.counter(
+            "repro_service_merge_batches_total", "merge batches applied"
+        )
+        self._merged = reg.counter(
+            "repro_service_merged_workloads_total", "workloads merged across batches"
+        )
+        self._merge_seconds = reg.counter(
+            "repro_service_merge_seconds_total", "seconds spent merging batches"
+        )
+        self._max_batch = reg.gauge(
+            "repro_service_max_batch_size", "largest merge batch so far"
+        )
+        self._max_merge_seconds = reg.gauge(
+            "repro_service_max_merge_seconds", "slowest merge batch so far"
+        )
+        self._request_hist = reg.histogram(
+            "repro_service_request_seconds",
+            "end-to-end request latency",
+            buckets=_LATENCY_BUCKETS,
+        )
+        self._queue_wait_hist = reg.histogram(
+            "repro_service_queue_wait_seconds",
+            "submit-to-merge-start wait of committed workloads",
+            buckets=_LATENCY_BUCKETS,
+        )
+        #: session_id -> display name (the one non-registry piece of state)
+        self._names: dict[str, str] = {}
+        self._names_lock = threading.Lock()
+        #: exact sliding window for the p50/p99 the stats surface reports
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._latency_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def register_session(self, session_id: str, name: str) -> None:
-        with self._lock:
-            self._sessions.setdefault(session_id, _SessionCounters(name))
+        with self._names_lock:
+            self._names.setdefault(session_id, name)
 
     def record_plan(self, session_id: str, planned_loads: int) -> None:
-        with self._lock:
-            self._plans += 1
-            self._planned_loads += planned_loads
-            hit = 1 if planned_loads > 0 else 0
-            self._reuse_hits += hit
-            counters = self._sessions.get(session_id)
-            if counters is not None:
-                counters.plans += 1
-                counters.planned_loads += planned_loads
-                counters.reuse_hits += hit
+        self._plans.inc(session=session_id)
+        if planned_loads:
+            self._planned_loads.inc(planned_loads, session=session_id)
+            self._reuse_hits.inc(session=session_id)
 
     def record_commit(self, session_id: str, merged: bool) -> None:
-        with self._lock:
-            counters = self._sessions.get(session_id)
-            if merged:
-                self._commits += 1
-                if counters is not None:
-                    counters.commits += 1
-            else:
-                self._rejected += 1
-                if counters is not None:
-                    counters.rejected += 1
+        if merged:
+            self._commits.inc(session=session_id)
+        else:
+            self._rejected.inc(session=session_id)
 
     def record_overload(self) -> None:
-        with self._lock:
-            self._overloads += 1
+        self._overloads.inc()
 
     def record_retry(self, session_id: str) -> None:
-        with self._lock:
-            self._retries += 1
-            counters = self._sessions.get(session_id)
-            if counters is not None:
-                counters.retries += 1
+        self._retries.inc(session=session_id)
 
     def record_batch(self, batch_size: int, merge_seconds: float) -> None:
-        with self._lock:
-            self._batches += 1
-            self._merged += batch_size
-            self._max_batch = max(self._max_batch, batch_size)
-            self._merge_seconds += merge_seconds
-            self._max_merge_seconds = max(self._max_merge_seconds, merge_seconds)
+        self._batches.inc()
+        self._merged.inc(batch_size)
+        self._merge_seconds.inc(merge_seconds)
+        self._max_batch.set_max(batch_size)
+        self._max_merge_seconds.set_max(merge_seconds)
 
     def record_request_latency(self, seconds: float) -> None:
-        with self._lock:
+        with self._latency_lock:
             self._latencies.append(seconds)
+        self._request_hist.observe(seconds)
+
+    def record_queue_wait(self, seconds: float) -> None:
+        self._queue_wait_hist.observe(seconds)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _by_session(counter) -> dict[str, float]:
+        return {labels["session"]: value for labels, value in counter.items()}
+
     def snapshot(
         self,
         version: int,
@@ -181,41 +216,54 @@ class MetricsRecorder:
         queue_capacity: int,
         deferred_evictions: int,
     ) -> ServiceStats:
-        with self._lock:
-            ordered = sorted(self._latencies)
-            sessions = {
-                session_id: SessionStats(
-                    session_id=session_id,
-                    name=counters.name,
-                    plans=counters.plans,
-                    commits=counters.commits,
-                    rejected_commits=counters.rejected,
-                    retries=counters.retries,
-                    planned_loads=counters.planned_loads,
-                    reuse_hits=counters.reuse_hits,
-                )
-                for session_id, counters in self._sessions.items()
-            }
-            return ServiceStats(
-                version=version,
-                open_sessions=open_sessions,
-                plans_total=self._plans,
-                commits_total=self._commits,
-                rejected_commits_total=self._rejected,
-                overload_rejections=self._overloads,
-                retries_total=self._retries,
-                queue_depth=queue_depth,
-                queue_capacity=queue_capacity,
-                batches=self._batches,
-                merged_workloads=self._merged,
-                max_batch_size=self._max_batch,
-                merge_seconds_total=self._merge_seconds,
-                max_merge_seconds=self._max_merge_seconds,
-                planned_loads_total=self._planned_loads,
-                reuse_hits_total=self._reuse_hits,
-                deferred_evictions=deferred_evictions,
-                requests_timed=len(ordered),
-                request_p50_s=_percentile(ordered, 0.50),
-                request_p99_s=_percentile(ordered, 0.99),
-                sessions=sessions,
+        # read phase: each step copies one instrument's series under that
+        # instrument's own lock; no lock is held while dataclasses build
+        with self._names_lock:
+            names = dict(self._names)
+        with self._latency_lock:
+            latencies = tuple(self._latencies)
+        plans = self._by_session(self._plans)
+        planned_loads = self._by_session(self._planned_loads)
+        reuse_hits = self._by_session(self._reuse_hits)
+        commits = self._by_session(self._commits)
+        rejected = self._by_session(self._rejected)
+        retries = self._by_session(self._retries)
+
+        # build phase: plain-tuple inputs only
+        ordered = sorted(latencies)
+        sessions = {
+            session_id: SessionStats(
+                session_id=session_id,
+                name=name,
+                plans=int(plans.get(session_id, 0)),
+                commits=int(commits.get(session_id, 0)),
+                rejected_commits=int(rejected.get(session_id, 0)),
+                retries=int(retries.get(session_id, 0)),
+                planned_loads=int(planned_loads.get(session_id, 0)),
+                reuse_hits=int(reuse_hits.get(session_id, 0)),
             )
+            for session_id, name in names.items()
+        }
+        return ServiceStats(
+            version=version,
+            open_sessions=open_sessions,
+            plans_total=int(sum(plans.values())),
+            commits_total=int(sum(commits.values())),
+            rejected_commits_total=int(sum(rejected.values())),
+            overload_rejections=int(self._overloads.value()),
+            retries_total=int(sum(retries.values())),
+            queue_depth=queue_depth,
+            queue_capacity=queue_capacity,
+            batches=int(self._batches.value()),
+            merged_workloads=int(self._merged.value()),
+            max_batch_size=int(self._max_batch.value()),
+            merge_seconds_total=self._merge_seconds.value(),
+            max_merge_seconds=self._max_merge_seconds.value(),
+            planned_loads_total=int(sum(planned_loads.values())),
+            reuse_hits_total=int(sum(reuse_hits.values())),
+            deferred_evictions=deferred_evictions,
+            requests_timed=len(ordered),
+            request_p50_s=percentile(ordered, 0.50),
+            request_p99_s=percentile(ordered, 0.99),
+            sessions=sessions,
+        )

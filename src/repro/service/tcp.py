@@ -457,6 +457,12 @@ class ServiceTCPServer:
         record["reuse_hit_rate"] = stats.reuse_hit_rate
         return {"stats": record}
 
+    def _op_metrics(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Registry exposition: Prometheus text or the JSON snapshot."""
+        if request.get("format", "text") == "json":
+            return {"metrics": self.service.metrics_snapshot()}
+        return {"text": self.service.metrics_text()}
+
 
 # ----------------------------------------------------------------------
 # Client
@@ -537,6 +543,11 @@ class TCPServiceClient:
 
     def stats(self) -> dict[str, Any]:
         return self.request({"op": "stats"})["stats"]
+
+    def metrics(self, format: str = "text") -> str | dict[str, Any]:
+        """The service's metrics registry: Prometheus text or JSON snapshot."""
+        response = self.request({"op": "metrics", "format": format})
+        return response["metrics"] if format == "json" else response["text"]
 
     # ------------------------------------------------------------------
     def run_script(

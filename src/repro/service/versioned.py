@@ -33,6 +33,7 @@ import networkx as nx
 
 from ..eg.graph import ExperimentGraph
 from ..eg.storage import ArtifactStore
+from ..obs.trace import get_tracer
 
 __all__ = ["SnapshotLease", "VersionedExperimentGraph"]
 
@@ -120,11 +121,15 @@ class VersionedExperimentGraph:
 
     def publish(self) -> int:
         """Copy the working graph and atomically make it the latest snapshot."""
-        snapshot = copy_experiment_graph(self._working)
-        with self._lock:
-            self._version += 1
-            self._published = snapshot
-            return self._version
+        with get_tracer().span(
+            "service.publish", vertices=self._working.graph.number_of_nodes()
+        ) as span:
+            snapshot = copy_experiment_graph(self._working)
+            with self._lock:
+                self._version += 1
+                self._published = snapshot
+                span.set_attribute("version", self._version)
+                return self._version
 
     def replace(self, eg: ExperimentGraph) -> int:
         """Swap in a different working EG (e.g. one restored from disk)."""
@@ -171,8 +176,13 @@ class VersionedExperimentGraph:
             for vertex_id in ready:
                 del self._deferred[vertex_id]
         released = 0
-        for vertex_id in ready:
-            released += self._working.store.remove(vertex_id)
+        if ready:
+            with get_tracer().span(
+                "service.flush_deferred", removals=len(ready)
+            ) as span:
+                for vertex_id in ready:
+                    released += self._working.store.remove(vertex_id)
+                span.set_attribute("released_bytes", released)
         return released
 
     @property

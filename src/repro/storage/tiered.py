@@ -59,6 +59,8 @@ from ..eg.storage import (
     check_not_divergent,
 )
 from ..graph.artifacts import payload_size_bytes
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from .disk import DiskColdTier
 from .tiers import TierStats
 
@@ -108,6 +110,19 @@ class TieredArtifactStore(_LockedStateMixin, ArtifactStore):
         self._lock = threading.RLock()
         #: vertex id -> event set when its in-flight promotion commits
         self._inflight: dict[str, threading.Event] = {}
+
+        # process-wide tier-movement counters (shared across store
+        # instances; TierStats keeps the per-store numbers)
+        registry = get_registry()
+        self._demotion_counter = registry.counter(
+            "repro_store_demotions_total", "vertex demotions to the cold tier"
+        )
+        self._promotion_counter = registry.counter(
+            "repro_store_promotions_total", "cold-read promotions to the hot tier"
+        )
+        self._cold_hit_counter = registry.counter(
+            "repro_store_cold_hits_total", "gets served by a disk read"
+        )
 
     # ------------------------------------------------------------------
     # ArtifactStore contract
@@ -176,14 +191,20 @@ class TieredArtifactStore(_LockedStateMixin, ArtifactStore):
             # so one reused artifact costs exactly one disk read
             waiter.wait()
         try:
-            started = time.perf_counter()
-            staged = self._stage_cold_read(vertex_id)
-            with self._lock:
-                self.stats.cold_hits += 1
-                payload = self._promote(vertex_id, staged)
-                self.stats.load_seconds += time.perf_counter() - started
-                self._enforce_hot_budget()
-                return payload
+            with get_tracer().span(
+                "store.cold_load", vertex=vertex_id[:12]
+            ) as span:
+                started = time.perf_counter()
+                staged = self._stage_cold_read(vertex_id)
+                with self._lock:
+                    self.stats.cold_hits += 1
+                    self._cold_hit_counter.inc()
+                    payload = self._promote(vertex_id, staged)
+                    read_seconds = time.perf_counter() - started
+                    self.stats.load_seconds += read_seconds
+                    span.set_attribute("read_seconds", read_seconds)
+                    self._enforce_hot_budget()
+                    return payload
         finally:
             with self._lock:
                 self._inflight.pop(vertex_id, None)
@@ -318,32 +339,38 @@ class TieredArtifactStore(_LockedStateMixin, ArtifactStore):
     # ------------------------------------------------------------------
     def demote(self, vertex_id: str) -> None:
         """Move a hot vertex's content to disk, freeing RAM."""
-        with self._lock:
+        with self._lock, get_tracer().span(
+            "store.demote", vertex=vertex_id[:12]
+        ) as span:
             if self._tier.get(vertex_id) is not StorageTier.HOT:
                 raise KeyError(f"vertex {vertex_id[:12]} is not in the hot tier")
             self.stats.demotions += 1
+            self._demotion_counter.inc()
             self._tier[vertex_id] = StorageTier.COLD
             self._lru.pop(vertex_id)
 
             if vertex_id in self._hot_objects:
                 payload = self._hot_objects.pop(vertex_id)
                 size = self._object_sizes[vertex_id]
-                self.stats.bytes_demoted += self._cold.write_object(
-                    vertex_id, payload, size
-                )
+                written = self._cold.write_object(vertex_id, payload, size)
+                self.stats.bytes_demoted += written
+                span.set_attribute("bytes_demoted", written)
                 self._hot_bytes -= size
                 return
 
+            written = 0
             for _name, cid in self._layouts[vertex_id]:
                 # every column of a demoted vertex must be durable, shared ones
                 # included — a hot co-referent may be removed later without
                 # another chance to write
-                self.stats.bytes_demoted += self._cold.write_column(self._hot_columns[cid])
+                written += self._cold.write_column(self._hot_columns[cid])
                 self._hot_column_refs[cid] -= 1
                 if self._hot_column_refs[cid] == 0:
                     del self._hot_column_refs[cid]
                     del self._hot_columns[cid]
                     self._hot_bytes -= self._column_sizes[cid]
+            self.stats.bytes_demoted += written
+            span.set_attribute("bytes_demoted", written)
 
     def _stage_cold_read(self, vertex_id: str) -> Any:
         """Read a cold vertex's content from disk *without* holding the lock.
@@ -365,6 +392,7 @@ class TieredArtifactStore(_LockedStateMixin, ArtifactStore):
     def _promote(self, vertex_id: str, staged: Any) -> Any:
         """Commit a staged cold read into the hot tier (lock held)."""
         self.stats.promotions += 1
+        self._promotion_counter.inc()
         self._tier[vertex_id] = StorageTier.HOT
         self._lru[vertex_id] = None
 
