@@ -1,6 +1,6 @@
 """Experiment Graph: artifact meta-data graph, content stores, updater."""
 
-from .graph import EGVertex, ExperimentGraph
+from .graph import EGVertex, ExperimentGraph, GraphDelta
 from .persistence import EGPersistenceError, load_eg, save_eg
 from .storage import (
     ArtifactDivergenceError,
@@ -11,10 +11,12 @@ from .storage import (
     StorageTier,
 )
 from .updater import BatchUpdateReport, Updater, UpdateReport
+from .utility_index import UtilityIndex, UtilityIndexDivergence
 
 __all__ = [
     "EGVertex",
     "ExperimentGraph",
+    "GraphDelta",
     "ArtifactStore",
     "ArtifactDivergenceError",
     "SimpleArtifactStore",
@@ -24,6 +26,8 @@ __all__ = [
     "Updater",
     "UpdateReport",
     "BatchUpdateReport",
+    "UtilityIndex",
+    "UtilityIndexDivergence",
     "save_eg",
     "load_eg",
     "EGPersistenceError",

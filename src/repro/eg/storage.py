@@ -130,6 +130,15 @@ class ArtifactStore:
             raise KeyError(f"vertex {vertex_id[:12]} is not materialized")
         return StorageTier.HOT
 
+    def tiers(self) -> dict[str, StorageTier]:
+        """Tier of every stored artifact in one call (bulk ``tier_of``).
+
+        Hot loops (utility scoring) call this once per pass instead of
+        ``tier_of`` per vertex; tiered stores override it to snapshot
+        their tier table under a single lock acquisition.
+        """
+        return {vertex_id: StorageTier.HOT for vertex_id in self.vertex_ids}
+
     def statistics(self) -> dict[str, Any]:
         """Instrumentation snapshot (bytes per tier, hit counters, ...).
 

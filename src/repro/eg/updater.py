@@ -76,6 +76,19 @@ class Updater:
     def __init__(self, eg: ExperimentGraph, materializer: Materializer):
         self.eg = eg
         self.materializer = materializer
+        #: vertex ids whose EG record changed since the dirty set was last
+        #: cleared — accumulated across batches (a failed publish must not
+        #: lose dirt) and consumed by the service's copy-on-write publish
+        self._dirty: set[str] = set()
+
+    @property
+    def pending_dirty(self) -> set[str]:
+        """Vertices dirtied since :meth:`clear_dirty` (live set; do not keep)."""
+        return self._dirty
+
+    def clear_dirty(self) -> None:
+        """Reset the dirty set — call only after a successful publish."""
+        self._dirty = set()
 
     # ------------------------------------------------------------------
     def update(self, executed: WorkloadDAG) -> UpdateReport:
@@ -117,7 +130,8 @@ class Updater:
                 continue
 
             # Task 2: union first so materialization sees the new vertices.
-            self.eg.union_workload(executed)
+            delta = self.eg.union_workload(executed)
+            self._dirty |= delta.dirty_vertices()
 
             # Task 1: sources are always stored, outside the budget.
             new_sources = 0
@@ -125,6 +139,7 @@ class Updater:
                 if vertex.is_source and vertex.computed:
                     if not self.eg.is_materialized(vertex.vertex_id):
                         self.eg.materialize(vertex.vertex_id, vertex.data)
+                        self._dirty.add(vertex.vertex_id)
                         new_sources += 1
             report.outcomes.append(new_sources)
             report.new_sources += new_sources
@@ -191,12 +206,14 @@ class Updater:
         for vertex_id in sorted(current - target):
             self.eg.vertex(vertex_id).materialized = False
             evict(vertex_id)
+            self._dirty.add(vertex_id)
             report.evicted.append(vertex_id)
         for vertex_id in sorted(target - current):
             payload = available.get(vertex_id)
             if payload is None:
                 continue  # content not obtainable right now; keep meta only
             self.eg.materialize(vertex_id, payload)
+            self._dirty.add(vertex_id)
             report.newly_materialized.append(vertex_id)
 
     def _available_payloads(self, merged: Sequence[WorkloadDAG]) -> dict[str, Any]:

@@ -156,6 +156,12 @@ def _run_swarm(_sources, args) -> None:
         f"p99 {stats.request_p99_s * 1e3:.1f}ms"
     )
     _print(
+        f"  incremental merge: {stats.publish_dirty_vertices} dirty vertices over "
+        f"{stats.publishes} publishes (mean {stats.mean_dirty_per_publish:.1f}/publish); "
+        f"plan cache {stats.plan_cache_hits}/{stats.plan_cache_hits + stats.plan_cache_misses} "
+        f"hits ({stats.plan_cache_hit_rate:.0%})"
+    )
+    _print(
         f"  final EG: {result.eg_vertices} vertices, {result.eg_edges} edges, "
         f"{result.eg_materialized} materialized, {result.store_bytes} store bytes"
     )

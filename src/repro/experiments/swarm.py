@@ -139,6 +139,16 @@ class SwarmResult:
         """Workloads committed per wall-clock second."""
         return self.workloads / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Share of plans served from the version-keyed plan cache."""
+        return self.stats.plan_cache_hit_rate if self.stats is not None else 0.0
+
+    @property
+    def mean_dirty_per_publish(self) -> float:
+        """Mean dirty-vertex count per copy-on-write publish (batch size proxy)."""
+        return self.stats.mean_dirty_per_publish if self.stats is not None else 0.0
+
 
 def run_swarm(
     clients: int = 8,
@@ -148,6 +158,7 @@ def run_swarm(
     queue_capacity: int = 64,
     replay: bool = True,
     store: ArtifactStore | None = None,
+    debug_cross_check: bool = False,
 ) -> SwarmResult:
     """Run the swarm and (optionally) verify against a sequential replay.
 
@@ -156,6 +167,8 @@ def run_swarm(
     exercise demotions under concurrency); the fingerprint check is
     store-independent — ``MaterializeAll`` and the virtual costs make the
     merged EG identical regardless of where artifact bytes live.
+    ``debug_cross_check`` makes every materialization pass assert the
+    incremental utility index against a full recompute (slow; CI only).
     """
     service = EGService(
         MaterializeAll(),
@@ -164,6 +177,7 @@ def run_swarm(
         batch_linger_s=batch_linger_s,
         request_timeout_s=60.0,
         background=True,
+        debug_cross_check=debug_cross_check,
     )
     errors: list[BaseException] = []
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 from ..eg.graph import ExperimentGraph
-from ..eg.storage import LoadCostModel
+from ..eg.storage import LoadCostModel, StorageTier
 
 __all__ = ["Materializer", "VertexUtility", "compute_utilities", "utility_heap"]
 
@@ -48,12 +48,26 @@ def compute_utilities(
     Candidates default to every non-source artifact vertex with known,
     positive size.  ``alpha`` weights model quality against the cost-size
     ratio; both components are normalized over the candidate set.
+
+    When the EG carries an installed
+    :class:`~repro.eg.utility_index.UtilityIndex`, the maintained
+    recreation costs and potentials are used instead of a full O(graph)
+    recompute; the two are bit-identical by contract (and the index's
+    ``cross_check`` debug flag asserts so on every pass).
     """
     if not 0.0 <= alpha <= 1.0:
         raise ValueError(f"alpha must be in [0, 1], got {alpha}")
 
-    recreation = eg.recreation_costs()
-    potential = eg.potentials()
+    index = eg.utility_index
+    if index is not None:
+        if index.cross_check:
+            index.verify()
+        recreation = index.recreation_costs()
+        potential = index.potentials()
+    else:
+        recreation = eg.recreation_costs()
+        potential = eg.potentials()
+    tiers = eg.tier_map()
 
     rows: list[VertexUtility] = []
     for vertex in eg.artifact_vertices():
@@ -61,19 +75,25 @@ def compute_utilities(
             continue
         if candidate_ids is None and (vertex.is_source or vertex.size <= 0):
             continue
+        pot = potential[vertex.vertex_id]
+        if candidate_ids is None and vertex.frequency == 0 and pot <= 0.0:
+            # both utility components are zero: the row cannot be selected
+            # and contributes nothing to either normalization total
+            continue
         cr = recreation[vertex.vertex_id]
         size = max(vertex.size, 1)
         rcs = vertex.frequency * cr / (size / 1e6)  # seconds per MB, per paper
         # materialized vertices are priced at the tier they currently occupy
         # (a demoted artifact loads at disk speed); candidates for *new*
-        # materialization land in the hot tier, which tier_of defaults to
+        # materialization land in the hot tier, which absent store entries
+        # default to (matching tier_of)
         rows.append(
             VertexUtility(
                 vertex_id=vertex.vertex_id,
-                potential=potential[vertex.vertex_id],
+                potential=pot,
                 recreation_cost=cr,
                 load_cost=load_cost_model.cost_for_tier(
-                    vertex.size, eg.tier_of(vertex.vertex_id)
+                    vertex.size, tiers.get(vertex.vertex_id, StorageTier.HOT)
                 ),
                 cost_size_ratio=rcs,
                 size=vertex.size,

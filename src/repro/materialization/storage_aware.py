@@ -105,9 +105,18 @@ class StorageAwareMaterializer(Materializer):
                 heapq.heappush(heap, item)
             if not round_picks:
                 break
-            # compression step: charge only the physical (deduplicated) bytes
+            # compression step: charge only the physical (deduplicated)
+            # bytes.  Each pick is re-checked against the remaining budget
+            # *before* committing — the greedy step accepted it by logical
+            # size, but its physical footprint depends on the columns the
+            # round's earlier picks already committed, so charging after
+            # the fact could drive ``remaining`` negative within a round.
             for vertex_id in round_picks:
-                physical = footprint.add(available[vertex_id])
+                payload = available[vertex_id]
+                physical = footprint.incremental_bytes(payload)
+                if physical > remaining:
+                    continue
+                footprint.add(payload)
                 remaining -= physical
                 selected.add(vertex_id)
         return selected

@@ -23,17 +23,19 @@ exits so accepted commits are never dropped.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import logging
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..eg.graph import ExperimentGraph
 from ..eg.storage import ArtifactDivergenceError, ArtifactStore, LoadCostModel
 from ..eg.updater import BatchUpdateReport, Updater
+from ..eg.utility_index import UtilityIndex
 from ..graph.dag import WorkloadDAG
 from ..materialization.base import Materializer
 from ..obs.metrics import MetricsRegistry
@@ -61,6 +63,33 @@ __all__ = [
     "EGService",
     "default_load_cost_model",
 ]
+
+
+def _materialized_set_hash(eg: ExperimentGraph) -> str:
+    """Digest of the snapshot's materialized vertex set, computed lazily.
+
+    Cached on the snapshot object itself: snapshots are immutable, so the
+    set cannot change after publish, and concurrent readers computing it
+    twice merely write the same value (a benign race).
+    """
+    cached = getattr(eg, "_materialized_set_hash", None)
+    if cached is None:
+        digest = hashlib.sha256()
+        for vertex_id in sorted(eg.materialized_ids()):
+            digest.update(vertex_id.encode("utf-8"))
+            digest.update(b"\x00")
+        cached = digest.hexdigest()
+        eg._materialized_set_hash = cached  # type: ignore[attr-defined]
+    return cached
+
+
+@dataclass(frozen=True)
+class _CachedPlan:
+    """Immutable cache entry: a private copy of one optimization result."""
+
+    plan: Any
+    warmstarts: tuple
+    planning_seconds: float
 
 
 def default_load_cost_model(store: ArtifactStore | None) -> LoadCostModel:
@@ -196,12 +225,20 @@ class EGService:
         request_timeout_s: float = 30.0,
         background: bool = False,
         metrics_registry: MetricsRegistry | None = None,
+        plan_cache_size: int = 128,
+        debug_cross_check: bool = False,
     ):
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be at least 1")
+        if plan_cache_size < 0:
+            raise ValueError("plan_cache_size must be non-negative")
         if eg is None and store is not None:
             eg = ExperimentGraph(store)
         self.versioned = VersionedExperimentGraph(eg=eg)
+        #: with the debug flag, every materialization pass cross-checks the
+        #: incremental utility index against a full recompute (O(graph))
+        self.debug_cross_check = debug_cross_check
+        UtilityIndex.install(self.versioned.working, cross_check=debug_cross_check)
         self.load_cost_model = (
             load_cost_model
             if load_cost_model is not None
@@ -233,6 +270,15 @@ class EGService:
         self._commit_log: list[CommitRecord] = []
         self._commit_counter = 0
         self._log_lock = threading.Lock()
+
+        #: version-keyed plan cache: (workload fingerprint, snapshot
+        #: version, materialized-set hash) -> _CachedPlan, LRU-bounded;
+        #: cleared on every publish
+        self._plan_cache: OrderedDict[tuple[str, int, str], _CachedPlan] = OrderedDict()
+        self._plan_cache_lock = threading.Lock()
+        self.plan_cache_size = plan_cache_size
+        #: utility-index dirty totals already folded into the metrics
+        self._utility_dirty_recorded = (0, 0)
 
         #: the service's metrics live in their own registry by default so
         #: two services in one process never cross-count; pass a shared
@@ -352,16 +398,41 @@ class EGService:
     # Read side: snapshot-isolated planning
     # ------------------------------------------------------------------
     def plan(self, session_id: str, workload: WorkloadDAG) -> ServicePlan:
-        """Optimize a (pruned) workload against the latest EG snapshot."""
+        """Optimize a (pruned) workload against the latest EG snapshot.
+
+        Results are cached keyed by (workload DAG fingerprint, snapshot
+        version, materialized-set hash): a repeat of the same workload
+        against an unchanged snapshot skips the optimizer entirely.  The
+        cache is cleared on every publish; hits return defensive copies
+        with the load tiers re-read fresh (tier placement shifts
+        independently of the version chain).
+        """
         self._require_session(session_id)
         self._require_running()
         with get_tracer().span("service.plan", session=session_id) as span:
             lease = self.versioned.acquire()
             try:
-                optimizer = Optimizer(
-                    lease.eg, self.reuse_algorithm, self.warmstarting, self.warmstart_policy
+                key = (
+                    workload.fingerprint(),
+                    lease.version,
+                    _materialized_set_hash(lease.eg),
                 )
-                result = optimizer.optimize(workload)
+                cached = self._plan_cache_get(key)
+                if cached is not None:
+                    result = self._result_from_cache(cached, lease.eg)
+                    self._metrics.record_plan_cache(hit=True)
+                    span.set_attribute("plan_cache", "hit")
+                else:
+                    optimizer = Optimizer(
+                        lease.eg,
+                        self.reuse_algorithm,
+                        self.warmstarting,
+                        self.warmstart_policy,
+                    )
+                    result = optimizer.optimize(workload)
+                    self._plan_cache_put(key, result)
+                    self._metrics.record_plan_cache(hit=False)
+                    span.set_attribute("plan_cache", "miss")
             except BaseException:
                 lease.release()
                 raise
@@ -369,6 +440,48 @@ class EGService:
             span.set_attribute("loads", len(result.plan.loads))
         self._metrics.record_plan(session_id, len(result.plan.loads))
         return ServicePlan(session_id=session_id, result=result, lease=lease)
+
+    # ------------------------------------------------------------------
+    # Version-keyed plan cache
+    # ------------------------------------------------------------------
+    def _plan_cache_get(self, key: tuple[str, int, str]) -> _CachedPlan | None:
+        if self.plan_cache_size == 0:
+            return None
+        with self._plan_cache_lock:
+            entry = self._plan_cache.get(key)
+            if entry is not None:
+                self._plan_cache.move_to_end(key)
+            return entry
+
+    def _plan_cache_put(self, key: tuple[str, int, str], result: OptimizationResult) -> None:
+        if self.plan_cache_size == 0:
+            return
+        entry = _CachedPlan(
+            plan=result.plan.copy(),
+            warmstarts=tuple(result.warmstarts),
+            planning_seconds=result.planning_seconds,
+        )
+        with self._plan_cache_lock:
+            self._plan_cache[key] = entry
+            self._plan_cache.move_to_end(key)
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+
+    def _invalidate_plan_cache(self) -> None:
+        with self._plan_cache_lock:
+            self._plan_cache.clear()
+
+    @staticmethod
+    def _result_from_cache(cached: _CachedPlan, eg: ExperimentGraph) -> OptimizationResult:
+        plan = cached.plan.copy()
+        return OptimizationResult(
+            plan=plan,
+            warmstarts=list(cached.warmstarts),
+            planning_seconds=0.0,
+            load_tiers={
+                vertex_id: eg.tier_of(vertex_id) for vertex_id in plan.loads
+            },
+        )
 
     # ------------------------------------------------------------------
     # Write side: bounded queue + batched merging
@@ -473,7 +586,16 @@ class EGService:
                     [ticket.workload for ticket in batch],
                     evict=self.versioned.defer_unmaterialize,
                 )
-                version = self.versioned.publish()
+                # copy-on-write publish: only the vertices this (and any
+                # previously unpublished) batch dirtied are cloned; the
+                # dirty set is cleared only after the publish succeeded,
+                # so a failed publish keeps its dirt for the next attempt
+                dirty = self.updater.pending_dirty
+                version = self.versioned.publish(dirty_vertices=dirty)
+                self.updater.clear_dirty()
+                self._invalidate_plan_cache()
+                self._metrics.record_publish(len(dirty))
+                self._record_utility_dirty()
                 self.versioned.flush_deferred()
             except BaseException as error:  # noqa: BLE001 - must not strand tickets
                 for ticket, span in zip(batch, commit_spans):
@@ -525,10 +647,32 @@ class EGService:
         """The live working EG (consistent after a commit returns)."""
         return self.versioned.working
 
+    def _record_utility_dirty(self) -> None:
+        """Fold the utility index's dirty totals into the metrics (delta)."""
+        index = self.versioned.working.utility_index
+        if index is None:
+            return
+        cost_seen, pot_seen = self._utility_dirty_recorded
+        self._metrics.record_utility_dirty(
+            index.total_cost_dirty - cost_seen,
+            index.total_potential_dirty - pot_seen,
+        )
+        self._utility_dirty_recorded = (
+            index.total_cost_dirty,
+            index.total_potential_dirty,
+        )
+
     def replace_eg(self, eg: ExperimentGraph) -> None:
         """Swap in a different EG (e.g. restored from disk) and republish."""
         self.versioned.replace(eg)
         self.updater.eg = eg
+        # the full republish supersedes any accumulated dirt, and the new
+        # EG needs its own index built from its current state
+        self.updater.clear_dirty()
+        UtilityIndex.install(eg, cross_check=self.debug_cross_check)
+        self._utility_dirty_recorded = (0, 0)
+        self._invalidate_plan_cache()
+        self._metrics.record_publish(None)
 
     def commit_log(self) -> list[CommitRecord]:
         with self._log_lock:

@@ -78,6 +78,16 @@ class ServiceStats:
     max_merge_seconds: float = 0.0
     planned_loads_total: int = 0
     reuse_hits_total: int = 0
+    #: plans served from / past the version-keyed plan cache
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    #: snapshot publishes, and dirty vertices cloned across COW publishes
+    publishes: int = 0
+    publish_dirty_vertices: int = 0
+    #: vertices whose recreation cost / potential the utility index
+    #: recomputed incrementally (total across all merge batches)
+    utility_cost_dirty: int = 0
+    utility_potential_dirty: int = 0
     #: content removals still deferred for outstanding snapshot leases
     deferred_evictions: int = 0
     #: end-to-end request latencies observed in the sliding window
@@ -97,6 +107,15 @@ class ServiceStats:
     @property
     def reuse_hit_rate(self) -> float:
         return self.reuse_hits_total / self.plans_total if self.plans_total else 0.0
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        attempts = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / attempts if attempts else 0.0
+
+    @property
+    def mean_dirty_per_publish(self) -> float:
+        return self.publish_dirty_vertices / self.publishes if self.publishes else 0.0
 
 
 class MetricsRecorder:
@@ -148,6 +167,29 @@ class MetricsRecorder:
         self._max_merge_seconds = reg.gauge(
             "repro_service_max_merge_seconds", "slowest merge batch so far"
         )
+        self._plan_cache_hits = reg.counter(
+            "repro_service_plan_cache_hits_total",
+            "plans served from the version-keyed plan cache",
+        )
+        self._plan_cache_misses = reg.counter(
+            "repro_service_plan_cache_misses_total",
+            "plans that ran the optimizer (cache miss or cache disabled)",
+        )
+        self._publishes = reg.counter(
+            "repro_service_publishes_total", "EG snapshot publishes"
+        )
+        self._publish_dirty = reg.counter(
+            "repro_service_publish_dirty_vertices_total",
+            "dirty vertices cloned across copy-on-write publishes",
+        )
+        self._utility_cost_dirty = reg.counter(
+            "repro_service_utility_cost_dirty_total",
+            "vertices whose recreation cost the utility index recomputed",
+        )
+        self._utility_potential_dirty = reg.counter(
+            "repro_service_utility_potential_dirty_total",
+            "vertices whose potential the utility index recomputed",
+        )
         self._request_hist = reg.histogram(
             "repro_service_request_seconds",
             "end-to-end request latency",
@@ -194,6 +236,21 @@ class MetricsRecorder:
         self._merge_seconds.inc(merge_seconds)
         self._max_batch.set_max(batch_size)
         self._max_merge_seconds.set_max(merge_seconds)
+
+    def record_plan_cache(self, hit: bool) -> None:
+        (self._plan_cache_hits if hit else self._plan_cache_misses).inc()
+
+    def record_publish(self, dirty_vertices: int | None) -> None:
+        """One publish; ``dirty_vertices`` is None for a full (non-COW) copy."""
+        self._publishes.inc()
+        if dirty_vertices is not None:
+            self._publish_dirty.inc(dirty_vertices)
+
+    def record_utility_dirty(self, cost_dirty: int, potential_dirty: int) -> None:
+        if cost_dirty:
+            self._utility_cost_dirty.inc(cost_dirty)
+        if potential_dirty:
+            self._utility_potential_dirty.inc(potential_dirty)
 
     def record_request_latency(self, seconds: float) -> None:
         with self._latency_lock:
@@ -261,6 +318,12 @@ class MetricsRecorder:
             max_merge_seconds=self._max_merge_seconds.value(),
             planned_loads_total=int(sum(planned_loads.values())),
             reuse_hits_total=int(sum(reuse_hits.values())),
+            plan_cache_hits=int(self._plan_cache_hits.value()),
+            plan_cache_misses=int(self._plan_cache_misses.value()),
+            publishes=int(self._publishes.value()),
+            publish_dirty_vertices=int(self._publish_dirty.value()),
+            utility_cost_dirty=int(self._utility_cost_dirty.value()),
+            utility_potential_dirty=int(self._utility_potential_dirty.value()),
             deferred_evictions=deferred_evictions,
             requests_timed=len(ordered),
             request_p50_s=percentile(ordered, 0.50),

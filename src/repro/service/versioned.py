@@ -35,7 +35,12 @@ from ..eg.graph import ExperimentGraph
 from ..eg.storage import ArtifactStore
 from ..obs.trace import get_tracer
 
-__all__ = ["SnapshotLease", "VersionedExperimentGraph"]
+__all__ = [
+    "SnapshotLease",
+    "VersionedExperimentGraph",
+    "copy_experiment_graph",
+    "cow_copy_experiment_graph",
+]
 
 
 def copy_experiment_graph(eg: ExperimentGraph) -> ExperimentGraph:
@@ -55,6 +60,52 @@ def copy_experiment_graph(eg: ExperimentGraph) -> ExperimentGraph:
     copied.graph = graph
     copied.source_ids = set(eg.source_ids)
     copied.workloads_observed = eg.workloads_observed
+    return copied
+
+
+def cow_copy_experiment_graph(
+    working: ExperimentGraph,
+    previous: ExperimentGraph,
+    dirty_vertices: set[str],
+) -> ExperimentGraph:
+    """Copy-on-write snapshot: clone only dirty vertices, share the rest.
+
+    ``previous`` must be the snapshot published immediately before this
+    call and ``dirty_vertices`` must cover every vertex whose record *or
+    adjacency* changed in the working graph since then (the updater's
+    dirty set does).  Clean vertices share their node-attribute dict and
+    adjacency dicts with ``previous`` — both immutable once published —
+    so the copy is O(|V|) dict assignments plus O(dirty) record clones
+    instead of O(|V| + |E|) structural rebuilding.
+
+    Dirty vertices get a fresh :class:`EGVertex` clone and fresh *outer*
+    adjacency dicts; the inner per-edge attribute dicts are shared with
+    the working graph, which never mutates them (``union_workload`` only
+    adds an edge when it is absent).  The networkx invariant that
+    ``_succ[u][v]`` and ``_pred[v][u]`` alias one dict is relaxed across
+    the dirty/clean boundary — the two dicts are equal in content, which
+    is all the read-only algorithms the snapshot serves ever need.
+    """
+    copied = ExperimentGraph(working.store)
+    graph = nx.DiGraph()
+    # populate the DiGraph's internal tables directly: snapshots are
+    # read-only, so structure sharing with the frozen predecessor is safe
+    node, succ, pred = graph._node, graph._succ, graph._pred
+    prev_node = previous.graph._node
+    prev_succ, prev_pred = previous.graph._succ, previous.graph._pred
+    w_succ, w_pred = working.graph._succ, working.graph._pred
+    for vertex_id, attrs in working.graph._node.items():
+        if vertex_id in dirty_vertices or vertex_id not in prev_node:
+            node[vertex_id] = {"vertex": replace(attrs["vertex"])}
+            succ[vertex_id] = dict(w_succ[vertex_id])
+            pred[vertex_id] = dict(w_pred[vertex_id])
+        else:
+            node[vertex_id] = prev_node[vertex_id]
+            succ[vertex_id] = prev_succ[vertex_id]
+            pred[vertex_id] = prev_pred[vertex_id]
+    copied.graph = graph
+    copied.source_ids = set(working.source_ids)
+    copied.workloads_observed = working.workloads_observed
     return copied
 
 
@@ -119,12 +170,33 @@ class VersionedExperimentGraph:
     def version(self) -> int:
         return self._version
 
-    def publish(self) -> int:
-        """Copy the working graph and atomically make it the latest snapshot."""
+    def publish(self, dirty_vertices: set[str] | None = None) -> int:
+        """Copy the working graph and atomically make it the latest snapshot.
+
+        With ``dirty_vertices`` (the updater's accumulated dirty set), the
+        snapshot is built copy-on-write against the previously published
+        one: only dirty vertices are cloned, everything else is structure-
+        shared, making publish cost proportional to the batch.  Without
+        it, the historical full structural copy runs — callers that
+        mutate the working graph outside the updater (or cannot prove a
+        complete dirty set) must use that path.
+
+        Reading ``self._published`` outside the lock is safe here: publish
+        runs only on the single serialized merge path, which is the sole
+        writer of that attribute.
+        """
         with get_tracer().span(
             "service.publish", vertices=self._working.graph.number_of_nodes()
         ) as span:
-            snapshot = copy_experiment_graph(self._working)
+            if dirty_vertices is None:
+                snapshot = copy_experiment_graph(self._working)
+                span.set_attribute("mode", "full")
+            else:
+                snapshot = cow_copy_experiment_graph(
+                    self._working, self._published, dirty_vertices
+                )
+                span.set_attribute("mode", "cow")
+                span.set_attribute("dirty_vertices", len(dirty_vertices))
             with self._lock:
                 self._version += 1
                 self._published = snapshot

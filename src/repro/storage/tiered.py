@@ -293,6 +293,10 @@ class TieredArtifactStore(_LockedStateMixin, ArtifactStore):
             raise KeyError(f"vertex {vertex_id[:12]} is not materialized")
         return tier
 
+    def tiers(self) -> dict[str, StorageTier]:
+        with self._lock:
+            return dict(self._tier)
+
     @property
     def hot_bytes(self) -> int:
         """Logical bytes currently resident in RAM."""

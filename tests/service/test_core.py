@@ -29,13 +29,23 @@ class Step(DataOperation):
         return underlying_data
 
 
-def executed_workload(n_steps: int = 2, columns=("x",)) -> WorkloadDAG:
+def executed_workload(n_steps: int = 2, columns=("x",), source: str = "src") -> WorkloadDAG:
     dag = WorkloadDAG()
-    current = dag.add_source("src", payload=DataFrame({"x": np.arange(5.0)}))
+    current = dag.add_source(source, payload=DataFrame({"x": np.arange(5.0)}))
     for index in range(n_steps):
         current = dag.add_operation([current], Step(index))
         frame = DataFrame({name: np.arange(5.0) + index for name in columns})
         dag.vertex(current).record_result(frame, compute_time=1.0)
+    dag.mark_terminal(current)
+    return dag
+
+
+def query_workload(n_steps: int = 2, source: str = "src") -> WorkloadDAG:
+    """The same DAG shape as ``executed_workload``, but not yet executed."""
+    dag = WorkloadDAG()
+    current = dag.add_source(source, payload=DataFrame({"x": np.arange(5.0)}))
+    for index in range(n_steps):
+        current = dag.add_operation([current], Step(index))
     dag.mark_terminal(current)
     return dag
 
@@ -263,3 +273,105 @@ class TestStats:
             stats = service.stats()
             with pytest.raises(AttributeError):
                 stats.plans_total = 5
+
+
+class TestPlanCache:
+    def test_repeat_plan_hits_cache(self):
+        with EGService(MaterializeAll()) as service:
+            session = service.open_session()
+            service.commit(session.session_id, executed_workload(3))
+            with service.plan(session.session_id, query_workload(3)) as first:
+                loads = set(first.result.plan.loads)
+            assert loads  # the plan actually reuses EG artifacts
+            with service.plan(session.session_id, query_workload(3)) as second:
+                assert set(second.result.plan.loads) == loads
+                assert second.result.planning_seconds == 0.0
+            stats = service.stats()
+            assert stats.plan_cache_misses == 1
+            assert stats.plan_cache_hits == 1
+            assert stats.plan_cache_hit_rate == 0.5
+
+    def test_distinct_workloads_take_distinct_keys(self):
+        with EGService(MaterializeAll()) as service:
+            session = service.open_session()
+            service.commit(session.session_id, executed_workload(3))
+            with service.plan(session.session_id, query_workload(2)):
+                pass
+            with service.plan(session.session_id, query_workload(3)):
+                pass
+            stats = service.stats()
+            assert stats.plan_cache_misses == 2
+            assert stats.plan_cache_hits == 0
+
+    def test_commit_invalidates_cache(self):
+        with EGService(MaterializeAll()) as service:
+            session = service.open_session()
+            service.commit(session.session_id, executed_workload(2))
+            for _ in range(2):
+                with service.plan(session.session_id, query_workload(2)):
+                    pass
+            assert service.stats().plan_cache_hits == 1
+            # a publish moves the snapshot version: the cached entry is gone
+            service.commit(session.session_id, executed_workload(4))
+            with service.plan(session.session_id, query_workload(2)):
+                pass
+            stats = service.stats()
+            assert stats.plan_cache_misses == 2
+            assert stats.plan_cache_hits == 1
+
+    def test_cached_plan_is_defensively_copied(self):
+        with EGService(MaterializeAll()) as service:
+            session = service.open_session()
+            service.commit(session.session_id, executed_workload(3))
+            with service.plan(session.session_id, query_workload(3)) as first:
+                first.result.plan.loads.add("poisoned")
+            with service.plan(session.session_id, query_workload(3)) as second:
+                assert "poisoned" not in second.result.plan.loads
+            assert service.stats().plan_cache_hits == 1
+
+    def test_zero_size_disables_cache(self):
+        with EGService(MaterializeAll(), plan_cache_size=0) as service:
+            session = service.open_session()
+            service.commit(session.session_id, executed_workload(2))
+            for _ in range(2):
+                with service.plan(session.session_id, query_workload(2)):
+                    pass
+            stats = service.stats()
+            assert stats.plan_cache_hits == 0
+            assert stats.plan_cache_misses == 2
+
+
+class TestIncrementalPublish:
+    def test_publish_dirty_counters_track_batch_not_graph(self):
+        with EGService(MaterializeAll()) as service:
+            session = service.open_session()
+            # first commit: everything is new, so everything is dirty
+            service.commit(session.session_id, executed_workload(20, source="big"))
+            first = service.stats()
+            assert first.publishes == 1
+            assert first.publish_dirty_vertices == service.eg.num_vertices
+            # second commit is a small disjoint chain: only its own
+            # vertices are dirty, not the 21 already published
+            service.commit(session.session_id, executed_workload(3, source="small"))
+            second = service.stats()
+            assert second.publishes == 2
+            assert second.publish_dirty_vertices - first.publish_dirty_vertices == 4
+            assert second.mean_dirty_per_publish < service.eg.num_vertices
+            # the utility index saw the same locality
+            cost_dirty = second.utility_cost_dirty - first.utility_cost_dirty
+            assert cost_dirty == 4
+
+    def test_debug_cross_check_verifies_every_pass(self):
+        from repro.materialization import HeuristicMaterializer
+
+        service = EGService(
+            HeuristicMaterializer(budget_bytes=10**9), debug_cross_check=True
+        )
+        with service:
+            session = service.open_session()
+            service.commit(session.session_id, executed_workload(3))
+            service.commit(session.session_id, executed_workload(5))
+            index = service.eg.utility_index
+            assert index is not None
+            assert index.cross_checks_passed >= 2
+            assert index.deltas_applied >= 2

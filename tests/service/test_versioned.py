@@ -5,9 +5,10 @@ import numpy as np
 from repro.dataframe import DataFrame
 from repro.eg.graph import ExperimentGraph
 from repro.eg.updater import Updater
-from repro.graph.dag import WorkloadDAG
+from repro.graph.dag import WorkloadDAG, source_vertex_id
 from repro.graph.operations import DataOperation
 from repro.materialization.simple import MaterializeAll
+from repro.experiments.swarm import eg_fingerprint
 from repro.service.versioned import VersionedExperimentGraph, copy_experiment_graph
 
 
@@ -19,9 +20,9 @@ class Step(DataOperation):
         return underlying_data
 
 
-def executed_workload(n_steps: int = 2) -> WorkloadDAG:
+def executed_workload(n_steps: int = 2, source: str = "src") -> WorkloadDAG:
     dag = WorkloadDAG()
-    current = dag.add_source("src", payload=DataFrame({"x": np.arange(5.0)}))
+    current = dag.add_source(source, payload=DataFrame({"x": np.arange(5.0)}))
     for index in range(n_steps):
         current = dag.add_operation([current], Step(index))
         dag.vertex(current).record_result(
@@ -155,3 +156,94 @@ class TestDeferredEviction:
         assert versioned.flush_deferred() == 0
         assert versioned.deferred_evictions == 0
         assert victim in versioned.working.store
+
+
+class TestCowPublish:
+    """Copy-on-write publishing: ``publish(dirty_vertices=...)``."""
+
+    @staticmethod
+    def _service_side() -> tuple[ExperimentGraph, Updater, VersionedExperimentGraph]:
+        eg = ExperimentGraph()
+        updater = Updater(eg, MaterializeAll())
+        versioned = VersionedExperimentGraph(eg=eg)
+        return eg, updater, versioned
+
+    @staticmethod
+    def _merge_publish(updater, versioned, workload) -> set[str]:
+        """One merge-worker drain cycle, as EGService runs it."""
+        updater.update_batch([workload], evict=versioned.defer_unmaterialize)
+        dirty = set(updater.pending_dirty)
+        versioned.publish(dirty_vertices=dirty)
+        updater.clear_dirty()
+        versioned.flush_deferred()
+        return dirty
+
+    def test_cow_snapshot_equals_full_copy(self):
+        eg, updater, versioned = self._service_side()
+        self._merge_publish(updater, versioned, executed_workload(3))
+        self._merge_publish(updater, versioned, executed_workload(5))
+        with versioned.acquire() as lease:
+            assert eg_fingerprint(lease.eg) == eg_fingerprint(copy_experiment_graph(eg))
+            assert lease.eg.store is eg.store
+
+    def test_snapshot_never_observes_working_mutations(self):
+        # mutate-after-publish probe: once published, a snapshot must be
+        # frozen no matter what later merges or pokes do to the working EG
+        eg, updater, versioned = self._service_side()
+        self._merge_publish(updater, versioned, executed_workload(2))
+        lease = versioned.acquire()
+        frozen = eg_fingerprint(lease.eg)
+        # a second merge extends the shared chain (touches every prefix
+        # record) and publishes over the snapshot the lease pins
+        self._merge_publish(updater, versioned, executed_workload(5))
+        assert eg_fingerprint(lease.eg) == frozen
+        # direct record mutations on the working graph cannot leak either
+        for vertex in eg.artifact_vertices():
+            vertex.frequency += 7
+            vertex.compute_time += 1.0
+        assert eg_fingerprint(lease.eg) == frozen
+        lease.release()
+
+    def test_clean_vertices_share_structure_with_previous_snapshot(self):
+        eg, updater, versioned = self._service_side()
+        self._merge_publish(updater, versioned, executed_workload(2, source="left"))
+        first = versioned.acquire()
+        # a disjoint workload leaves the first chain untouched (clean)
+        dirty = self._merge_publish(
+            updater, versioned, executed_workload(2, source="right")
+        )
+        second = versioned.acquire()
+        clean_id = source_vertex_id("left")
+        dirty_id = source_vertex_id("right")
+        assert clean_id not in dirty and dirty_id in dirty
+        # clean vertex: node-attr dict shared with the previous snapshot
+        assert second.eg.graph.nodes[clean_id] is first.eg.graph.nodes[clean_id]
+        # dirty vertex: fresh record, not an alias of the working graph's
+        assert (
+            second.eg.graph.nodes[dirty_id]["vertex"]
+            is not eg.graph.nodes[dirty_id]["vertex"]
+        )
+        first.release()
+        second.release()
+
+    def test_cow_publish_respects_deferred_eviction(self):
+        versioned = VersionedExperimentGraph(eg=populated_eg(3))
+        lease = versioned.acquire()  # pins the pre-eviction snapshot
+        victim = next(
+            v.vertex_id
+            for v in versioned.working.artifact_vertices()
+            if v.materialized and not v.is_source
+        )
+        versioned.working.vertex(victim).materialized = False
+        assert versioned.defer_unmaterialize(victim) == 0
+        versioned.publish(dirty_vertices={victim})
+        # the COW snapshot carries the flipped flag...
+        with versioned.acquire() as fresh:
+            assert not fresh.eg.vertex(victim).materialized
+        # ...but the content stays loadable while the old lease is out
+        assert versioned.flush_deferred() == 0
+        assert lease.eg.vertex(victim).materialized
+        assert lease.eg.load(victim) is not None
+        lease.release()
+        assert versioned.flush_deferred() > 0
+        assert victim not in versioned.working.store
