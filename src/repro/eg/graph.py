@@ -171,7 +171,15 @@ class ExperimentGraph:
         returning.
         """
         delta = GraphDelta()
-        self.workloads_observed += 1
+        # a sharding coordinator numbers workloads globally and stamps the
+        # pieces (``WorkloadDAG.global_index``); standalone graphs number
+        # their own unions — either way ``index`` is what last_seen records
+        index = getattr(workload, "global_index", None)
+        if index is None:
+            self.workloads_observed += 1
+            index = self.workloads_observed
+        else:
+            self.workloads_observed = max(self.workloads_observed, index)
         for vertex in workload.vertices():
             if vertex.vertex_id not in self.graph:
                 self.graph.add_node(
@@ -191,7 +199,7 @@ class ExperimentGraph:
             record = self.vertex(vertex.vertex_id)
             if not vertex.is_supernode:
                 record.frequency += 1
-                record.last_seen = self.workloads_observed
+                record.last_seen = index
             if vertex.computed:
                 # keep the latest measurement; sizes are deterministic,
                 # compute times vary slightly between runs

@@ -4,8 +4,8 @@ A collaborative server restarts; the EG must survive.  ``save_eg`` writes
 the graph structure, per-vertex bookkeeping, and the artifact store's
 contents to a directory; ``load_eg`` restores them.  Formats:
 
-* ``graph.json`` — vertices (id, type, f/t/s, materialization flag, meta)
-  and edges (op hash/name, input order);
+* ``graph.json`` — vertices (id, type, f/t/s, materialization flag,
+  last-seen workload index, meta) and edges (op hash/name, input order);
 * ``store/`` — the artifact contents in the incremental on-disk layout of
   :class:`~repro.storage.disk.DiskColdTier`: one ``.npy`` file per distinct
   column (keyed by lineage id, so shared columns are serialized once), one
@@ -99,6 +99,7 @@ def save_eg(eg: ExperimentGraph, directory: str | Path) -> None:
                 "compute_time": vertex.compute_time,
                 "size": vertex.size,
                 "materialized": vertex.materialized,
+                "last_seen": vertex.last_seen,
                 "is_source": vertex.is_source,
                 "source_name": vertex.source_name,
                 "meta": _meta_to_dict(vertex.meta),
@@ -192,6 +193,9 @@ def load_eg(directory: str | Path) -> ExperimentGraph:
                 compute_time=record["compute_time"],
                 size=record["size"],
                 materialized=record["materialized"],
+                # documents written before last_seen was persisted load as 0,
+                # the "never seen" recency the field defaults to
+                last_seen=record.get("last_seen", 0),
                 is_source=record["is_source"],
                 source_name=record["source_name"],
                 meta=_meta_from_dict(record["meta"]),

@@ -131,16 +131,24 @@ def _run_swarm(_sources, args) -> None:
     from ..storage import TieredArtifactStore
     from .swarm import run_swarm
 
-    # a small hot budget forces real demotions/promotions under
-    # concurrency, so traced runs show the tiered store's spans; byte
-    # accounting (store_bytes, fingerprints) is tier-independent
-    store = TieredArtifactStore(hot_budget_bytes=args.hot_budget_bytes)
-    result = run_swarm(clients=args.clients, rounds=args.rounds, store=store)
+    if args.shards > 1:
+        # sharded services own one store per partition, so the tiered
+        # store override does not apply
+        result = run_swarm(
+            clients=args.clients, rounds=args.rounds, shards=args.shards
+        )
+    else:
+        # a small hot budget forces real demotions/promotions under
+        # concurrency, so traced runs show the tiered store's spans; byte
+        # accounting (store_bytes, fingerprints) is tier-independent
+        store = TieredArtifactStore(hot_budget_bytes=args.hot_budget_bytes)
+        result = run_swarm(clients=args.clients, rounds=args.rounds, store=store)
     stats = result.stats
+    shard_note = f" across {result.shards} shards" if result.shards > 1 else ""
     _print(
         f"Swarm: {result.clients} concurrent clients x {result.rounds} workloads "
         f"({result.workloads} commits in {result.wall_seconds:.2f}s, "
-        f"{result.throughput:.1f}/s)"
+        f"{result.throughput:.1f}/s{shard_note})"
     )
     _print(
         f"  merge batches: {stats.batches} "
@@ -161,6 +169,21 @@ def _run_swarm(_sources, args) -> None:
         f"plan cache {stats.plan_cache_hits}/{stats.plan_cache_hits + stats.plan_cache_misses} "
         f"hits ({stats.plan_cache_hit_rate:.0%})"
     )
+    if result.shard_stats:
+        _print(
+            f"  cross-shard: {result.stub_edges} edge stubs; per-shard stats:"
+        )
+        _print(
+            f"    {'shard':>5} {'merged':>7} {'dirty/publish':>14} "
+            f"{'cache-hit':>10} {'queue':>6} {'peak':>5}"
+        )
+        for index, shard in enumerate(result.shard_stats):
+            _print(
+                f"    {index:>5} {shard.merged_workloads:>7} "
+                f"{shard.mean_dirty_per_publish:>14.1f} "
+                f"{shard.plan_cache_hit_rate:>10.0%} "
+                f"{shard.queue_depth:>6} {shard.queue_peak:>5}"
+            )
     _print(
         f"  final EG: {result.eg_vertices} vertices, {result.eg_edges} edges, "
         f"{result.eg_materialized} materialized, {result.store_bytes} store bytes"
@@ -216,6 +239,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--rounds", type=int, default=3, help="workloads per tenant in the swarm experiment"
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="EG shards for the swarm experiment (>1 uses the sharded service)",
     )
     parser.add_argument(
         "--hot-budget-bytes",

@@ -36,9 +36,21 @@ from ..eg.storage import ArtifactStore
 from ..materialization import MaterializeAll
 from ..server.service import CollaborativeOptimizer
 from ..service import EGService, ServiceClient, ServiceStats
-from ..workloads.synthetic_dag import wide_workload_script
+from ..workloads.synthetic_dag import (
+    SleepJoinOperation,
+    SleepOperation,
+    wide_workload_script,
+)
 
-__all__ = ["SwarmResult", "run_swarm", "eg_fingerprint", "swarm_script", "swarm_sources"]
+__all__ = [
+    "SwarmResult",
+    "run_swarm",
+    "eg_fingerprint",
+    "swarm_script",
+    "swarm_sources",
+    "sharded_swarm_script",
+    "sharded_swarm_sources",
+]
 
 
 # ----------------------------------------------------------------------
@@ -106,6 +118,65 @@ def swarm_sources() -> dict[str, DataFrame]:
 
 
 # ----------------------------------------------------------------------
+# Sharded workload family (one lineage group per shard, periodic joins)
+# ----------------------------------------------------------------------
+def _sharded_source_names(shards: int) -> list[str]:
+    from ..shard import balanced_source_names
+
+    return balanced_source_names(shards, shards, prefix="swarm")
+
+
+def sharded_swarm_sources(shards: int) -> dict[str, DataFrame]:
+    """One source dataset per lineage group, each routing to its own shard.
+
+    Names come from :func:`repro.shard.balanced_source_names`, so group
+    ``g`` deterministically lands on shard ``g`` — the workload mix stays
+    balanced instead of depending on hash luck.
+    """
+    sources: dict[str, DataFrame] = {}
+    for group, name in enumerate(_sharded_source_names(shards)):
+        rng = np.random.default_rng(100 + group)
+        sources[name] = DataFrame(
+            {"x": rng.normal(size=64), "y": rng.normal(size=64)}
+        )
+    return sources
+
+
+def sharded_swarm_script(
+    client: int, round_index: int, shards: int, op_seconds: float = 0.02
+) -> Callable[[Any, Mapping[str, Any]], None]:
+    """The workload tenant ``client`` runs in round ``round_index``.
+
+    Each tenant works its group's lineage (``client % shards``) with a
+    sleep chain whose depth varies deterministically with (client, round)
+    — tenants in one group keep hitting each other's artifacts on one
+    shard.  Every third round ends in a cross-group
+    :class:`SleepJoinOperation` (a virtual-cost row concat), so the run
+    exercises cross-shard routing, edge stubs, and stitched planning,
+    not just disjoint per-shard traffic.
+    """
+    names = _sharded_source_names(shards)
+    group = client % shards
+    depth = 2 + (client + round_index) % 3
+
+    def script(workspace: Any, sources: Mapping[str, Any]) -> None:
+        node = workspace.source(names[group], sources[names[group]])
+        for step in range(depth):
+            node = node.add(
+                SleepOperation(branch=group, step=step, seconds=op_seconds)
+            )
+        if shards > 1 and round_index % 3 == 2:
+            other = names[(group + 1) % shards]
+            node = node.add(
+                SleepJoinOperation(branch=group, step=depth, seconds=op_seconds),
+                workspace.source(other, sources[other]),
+            )
+        node.terminal()
+
+    return script
+
+
+# ----------------------------------------------------------------------
 # The experiment
 # ----------------------------------------------------------------------
 @dataclass
@@ -126,6 +197,12 @@ class SwarmResult:
     store_bytes: int = 0
     concurrent_fingerprint: str = ""
     replay_fingerprint: str | None = None
+    #: EG shards the run used (1 = the classic single-service swarm)
+    shards: int = 1
+    #: per-shard frozen stats (empty on single-service runs)
+    shard_stats: list[ServiceStats] = field(default_factory=list, repr=False)
+    #: cross-partition edge stubs registered by the end of the run
+    stub_edges: int = 0
 
     @property
     def fingerprint_match(self) -> bool | None:
@@ -159,6 +236,7 @@ def run_swarm(
     replay: bool = True,
     store: ArtifactStore | None = None,
     debug_cross_check: bool = False,
+    shards: int = 1,
 ) -> SwarmResult:
     """Run the swarm and (optionally) verify against a sequential replay.
 
@@ -169,7 +247,29 @@ def run_swarm(
     merged EG identical regardless of where artifact bytes live.
     ``debug_cross_check`` makes every materialization pass assert the
     incremental utility index against a full recompute (slow; CI only).
+
+    ``shards > 1`` switches to the sharded service
+    (:class:`~repro.shard.ShardedEGService`) and the sharded workload
+    family — one lineage group per shard with periodic cross-group joins;
+    the fingerprint check then compares the *flattened* partitioned EG
+    against the sequential single-graph replay.
     """
+    if shards > 1:
+        if store is not None:
+            raise ValueError(
+                "a custom store cannot be shared across shards; "
+                "each shard owns its partition's store"
+            )
+        return _run_swarm_sharded(
+            clients=clients,
+            rounds=rounds,
+            op_seconds=op_seconds,
+            batch_linger_s=batch_linger_s,
+            queue_capacity=queue_capacity,
+            replay=replay,
+            debug_cross_check=debug_cross_check,
+            shards=shards,
+        )
     service = EGService(
         MaterializeAll(),
         store=store,
@@ -243,4 +343,107 @@ def replay_sequentially(commit_labels: list[str], op_seconds: float) -> Experime
     for label in commit_labels:
         client, round_index = (int(part) for part in label.split(":"))
         optimizer.run_script(swarm_script(client, round_index, op_seconds), swarm_sources())
+    return optimizer.eg
+
+
+# ----------------------------------------------------------------------
+# The sharded experiment
+# ----------------------------------------------------------------------
+def _run_swarm_sharded(
+    clients: int,
+    rounds: int,
+    op_seconds: float,
+    batch_linger_s: float,
+    queue_capacity: int,
+    replay: bool,
+    debug_cross_check: bool,
+    shards: int,
+) -> SwarmResult:
+    from ..shard import ShardedEGService
+
+    service = ShardedEGService(
+        lambda _index: MaterializeAll(),
+        shards,
+        queue_capacity=queue_capacity,
+        batch_linger_s=batch_linger_s,
+        request_timeout_s=60.0,
+        background=True,
+        debug_cross_check=debug_cross_check,
+    )
+    sources = sharded_swarm_sources(shards)
+    errors: list[BaseException] = []
+
+    def tenant(index: int) -> None:
+        try:
+            with ServiceClient(
+                service, name=f"client-{index}", cost_model=VirtualCostModel()
+            ) as client:
+                for round_index in range(rounds):
+                    client.run_script(
+                        sharded_swarm_script(index, round_index, shards, op_seconds),
+                        sources,
+                        label=f"{index}:{round_index}",
+                    )
+        except BaseException as error:  # noqa: BLE001 - surfaced after join
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=tenant, args=(index,), name=f"tenant-{index}")
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - started
+    service.stop()
+    if errors:
+        raise errors[0]
+
+    stats = service.stats()
+    log = service.commit_log()
+    flat = service.flatten()
+    result = SwarmResult(
+        clients=clients,
+        rounds=rounds,
+        workloads=len(log),
+        wall_seconds=wall_seconds,
+        stats=stats,
+        commit_labels=[record.label for record in log],
+        eg_vertices=flat.num_vertices,
+        eg_edges=flat.graph.number_of_edges(),
+        eg_materialized=len(flat.materialized_ids()),
+        store_bytes=sum(
+            partition.store.total_bytes
+            for partition in service.partitioned.partitions
+        ),
+        concurrent_fingerprint=eg_fingerprint(flat),
+        shards=shards,
+        shard_stats=service.shard_stats(),
+        stub_edges=service.partitioned.stub_count,
+    )
+    if replay:
+        result.replay_fingerprint = eg_fingerprint(
+            replay_sharded(result.commit_labels, shards, op_seconds)
+        )
+    return result
+
+
+def replay_sharded(
+    commit_labels: list[str], shards: int, op_seconds: float
+) -> ExperimentGraph:
+    """Single-graph sequential replay of the sharded workload family.
+
+    Runs the same scripts through one plain :class:`CollaborativeOptimizer`
+    in the coordinator's commit-index order; the result must equal the
+    flattened partitioned EG bit-for-bit.
+    """
+    optimizer = CollaborativeOptimizer(MaterializeAll(), cost_model=VirtualCostModel())
+    sources = sharded_swarm_sources(shards)
+    for label in commit_labels:
+        client, round_index = (int(part) for part in label.split(":"))
+        optimizer.run_script(
+            sharded_swarm_script(client, round_index, shards, op_seconds), sources
+        )
     return optimizer.eg

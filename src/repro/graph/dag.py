@@ -89,6 +89,13 @@ class WorkloadDAG:
     def __init__(self):
         self.graph = nx.DiGraph()
         self.terminals: list[str] = []
+        #: global workload sequence number assigned by a coordinator that
+        #: fans one workload out to several Experiment Graph partitions.
+        #: ``ExperimentGraph.union_workload`` stamps ``last_seen`` with it
+        #: instead of the per-graph counter, so per-partition unions stay
+        #: bit-identical to a single-graph replay.  ``None`` (the default)
+        #: keeps the historical per-graph numbering.
+        self.global_index: int | None = None
 
     # ------------------------------------------------------------------
     # Construction

@@ -101,6 +101,22 @@ class _Instrument:
             for key, value in entries
         ]
 
+    @property
+    def sync_lock(self) -> threading.Lock:
+        """The instrument's own series lock, exposed for readers that must
+        cut *several* instruments at one consistent instant (e.g. the
+        service stats snapshot).  Record paths only ever take one
+        instrument lock at a time, so a reader holding many in a stable
+        order cannot deadlock against them."""
+        return self._lock
+
+    def items_unlocked(self) -> list[tuple[dict[str, str], Any]]:
+        """Like :meth:`items`, but the caller already holds :attr:`sync_lock`."""
+        return [
+            (dict(zip(self.labelnames, key)), self._plain(value))
+            for key, value in list(self._series.items())
+        ]
+
     def _plain(self, value: Any) -> Any:
         return value
 

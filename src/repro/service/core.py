@@ -258,6 +258,7 @@ class EGService:
 
         self._queue: deque[UpdateTicket] = deque()
         self._queue_cv = threading.Condition()
+        self._queue_peak = 0
         self._merge_lock = threading.Lock()
         self._stopped = False
         self._stop_requested = False
@@ -508,10 +509,25 @@ class EGService:
                 )
             ticket.enqueued_at = time.perf_counter()
             self._queue.append(ticket)
+            if len(self._queue) > self._queue_peak:
+                self._queue_peak = len(self._queue)
             self._queue_cv.notify()
         if self._worker is None:
             self._merge_inline(ticket)
         return ticket
+
+    def queue_headroom(self) -> int:
+        """Free update-queue slots right now (0 means the next submit
+        bounces).  A sharding coordinator checks every involved shard's
+        headroom before allocating a global commit index."""
+        with self._queue_cv:
+            return self.queue_capacity - len(self._queue)
+
+    @property
+    def queue_peak(self) -> int:
+        """High-water mark of the update queue since the service started."""
+        with self._queue_cv:
+            return self._queue_peak
 
     def commit(
         self,
@@ -691,6 +707,7 @@ class EGService:
     def stats(self) -> ServiceStats:
         with self._queue_cv:
             queue_depth = len(self._queue)
+            queue_peak = self._queue_peak
         with self._registry_lock:
             open_sessions = len(self._sessions)
         self._sync_gauges(queue_depth, open_sessions)
@@ -700,6 +717,7 @@ class EGService:
             queue_depth=queue_depth,
             queue_capacity=self.queue_capacity,
             deferred_evictions=self.versioned.deferred_evictions,
+            queue_peak=queue_peak,
         )
 
     def _sync_gauges(self, queue_depth: int, open_sessions: int) -> None:

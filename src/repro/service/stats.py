@@ -16,16 +16,21 @@ are also available as a Prometheus text exposition / JSON snapshot via
 the service's ``metrics`` surface.  The public API of this module is
 unchanged.
 
-Locking: each registry instrument guards itself, and :meth:`snapshot`
-reads each one into plain tuples before building any dataclass — so a
-snapshot never holds one big lock across the whole build and concurrent
-``record_*`` calls only ever wait for a single dict copy.
+Locking: each registry instrument guards itself.  :meth:`snapshot`
+acquires **all** the instruments it reads in one stable (name-sorted)
+order, copies every raw series, releases the locks, and only then builds
+the dataclasses — one consistent cut across related counters (commits can
+never exceed plans in a snapshot taken mid-flight).  Record paths take a
+single instrument lock at a time and never nest them, so a snapshot
+holding many cannot deadlock against recorders, and two concurrent
+snapshots acquire in the same order.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 
 from ..obs.metrics import MetricsRegistry, percentile
@@ -70,6 +75,8 @@ class ServiceStats:
     retries_total: int = 0
     queue_depth: int = 0
     queue_capacity: int = 0
+    #: high-water mark of the update queue since the service started
+    queue_peak: int = 0
     #: merge batches applied / workloads merged across them
     batches: int = 0
     merged_workloads: int = 0
@@ -263,7 +270,15 @@ class MetricsRecorder:
     # ------------------------------------------------------------------
     @staticmethod
     def _by_session(counter) -> dict[str, float]:
-        return {labels["session"]: value for labels, value in counter.items()}
+        """Per-session series of a held-lock counter (sync_lock held)."""
+        return {
+            labels["session"]: value for labels, value in counter.items_unlocked()
+        }
+
+    @staticmethod
+    def _held_value(instrument) -> float:
+        """Single (unlabeled) series value of a held-lock instrument."""
+        return sum(value for _labels, value in instrument.items_unlocked())
 
     def snapshot(
         self,
@@ -272,19 +287,60 @@ class MetricsRecorder:
         queue_depth: int,
         queue_capacity: int,
         deferred_evictions: int,
+        queue_peak: int = 0,
     ) -> ServiceStats:
-        # read phase: each step copies one instrument's series under that
-        # instrument's own lock; no lock is held while dataclasses build
-        with self._names_lock:
+        # read phase: take every read instrument's lock in a stable
+        # (name-sorted) order, copy all raw series in one consistent cut,
+        # then release everything before any dataclass builds.  Recorders
+        # never hold two instrument locks at once, so this cannot deadlock.
+        read_instruments = sorted(
+            (
+                self._plans,
+                self._planned_loads,
+                self._reuse_hits,
+                self._commits,
+                self._rejected,
+                self._retries,
+                self._overloads,
+                self._batches,
+                self._merged,
+                self._merge_seconds,
+                self._max_batch,
+                self._max_merge_seconds,
+                self._plan_cache_hits,
+                self._plan_cache_misses,
+                self._publishes,
+                self._publish_dirty,
+                self._utility_cost_dirty,
+                self._utility_potential_dirty,
+            ),
+            key=lambda instrument: instrument.name,
+        )
+        with ExitStack() as stack:
+            stack.enter_context(self._names_lock)
+            stack.enter_context(self._latency_lock)
+            for instrument in read_instruments:
+                stack.enter_context(instrument.sync_lock)
             names = dict(self._names)
-        with self._latency_lock:
             latencies = tuple(self._latencies)
-        plans = self._by_session(self._plans)
-        planned_loads = self._by_session(self._planned_loads)
-        reuse_hits = self._by_session(self._reuse_hits)
-        commits = self._by_session(self._commits)
-        rejected = self._by_session(self._rejected)
-        retries = self._by_session(self._retries)
+            plans = self._by_session(self._plans)
+            planned_loads = self._by_session(self._planned_loads)
+            reuse_hits = self._by_session(self._reuse_hits)
+            commits = self._by_session(self._commits)
+            rejected = self._by_session(self._rejected)
+            retries = self._by_session(self._retries)
+            overloads = self._held_value(self._overloads)
+            batches = self._held_value(self._batches)
+            merged = self._held_value(self._merged)
+            merge_seconds = self._held_value(self._merge_seconds)
+            max_batch = self._held_value(self._max_batch)
+            max_merge_seconds = self._held_value(self._max_merge_seconds)
+            plan_cache_hits = self._held_value(self._plan_cache_hits)
+            plan_cache_misses = self._held_value(self._plan_cache_misses)
+            publishes = self._held_value(self._publishes)
+            publish_dirty = self._held_value(self._publish_dirty)
+            utility_cost_dirty = self._held_value(self._utility_cost_dirty)
+            utility_potential_dirty = self._held_value(self._utility_potential_dirty)
 
         # build phase: plain-tuple inputs only
         ordered = sorted(latencies)
@@ -307,23 +363,24 @@ class MetricsRecorder:
             plans_total=int(sum(plans.values())),
             commits_total=int(sum(commits.values())),
             rejected_commits_total=int(sum(rejected.values())),
-            overload_rejections=int(self._overloads.value()),
+            overload_rejections=int(overloads),
             retries_total=int(sum(retries.values())),
             queue_depth=queue_depth,
             queue_capacity=queue_capacity,
-            batches=int(self._batches.value()),
-            merged_workloads=int(self._merged.value()),
-            max_batch_size=int(self._max_batch.value()),
-            merge_seconds_total=self._merge_seconds.value(),
-            max_merge_seconds=self._max_merge_seconds.value(),
+            queue_peak=queue_peak,
+            batches=int(batches),
+            merged_workloads=int(merged),
+            max_batch_size=int(max_batch),
+            merge_seconds_total=merge_seconds,
+            max_merge_seconds=max_merge_seconds,
             planned_loads_total=int(sum(planned_loads.values())),
             reuse_hits_total=int(sum(reuse_hits.values())),
-            plan_cache_hits=int(self._plan_cache_hits.value()),
-            plan_cache_misses=int(self._plan_cache_misses.value()),
-            publishes=int(self._publishes.value()),
-            publish_dirty_vertices=int(self._publish_dirty.value()),
-            utility_cost_dirty=int(self._utility_cost_dirty.value()),
-            utility_potential_dirty=int(self._utility_potential_dirty.value()),
+            plan_cache_hits=int(plan_cache_hits),
+            plan_cache_misses=int(plan_cache_misses),
+            publishes=int(publishes),
+            publish_dirty_vertices=int(publish_dirty),
+            utility_cost_dirty=int(utility_cost_dirty),
+            utility_potential_dirty=int(utility_potential_dirty),
             deferred_evictions=deferred_evictions,
             requests_timed=len(ordered),
             request_p50_s=percentile(ordered, 0.50),

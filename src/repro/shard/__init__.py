@@ -1,0 +1,50 @@
+"""Sharded Experiment Graph: partition-aware EG + cross-shard coordinator.
+
+The scale-out layer over the single-graph service stack:
+
+* :mod:`repro.shard.routing` — root-lineage fingerprints deciding which
+  partition owns which vertex;
+* :mod:`repro.shard.partition` — :class:`PartitionedExperimentGraph`,
+  N ordinary Experiment Graphs joined by explicit cross-partition edge
+  stubs, with composed union / utility / flatten;
+* :mod:`repro.shard.service` — :class:`ShardedEGService`, one merge
+  worker + snapshot chain + plan cache per shard behind a routing and
+  plan-stitching coordinator;
+* :mod:`repro.shard.persistence` — save/load of all partitions plus the
+  stub registry.
+"""
+
+from .partition import EdgeStub, PartitionedExperimentGraph, SplitWorkload
+from .persistence import load_partitioned_eg, save_partitioned_eg
+from .routing import (
+    RoutedWorkload,
+    balanced_source_names,
+    lineage_fingerprint,
+    route_workload,
+    shard_of_source,
+)
+from .service import (
+    ShardedCommitResult,
+    ShardedEGService,
+    ShardedServicePlan,
+    ShardedUpdateTicket,
+    StitchedSnapshot,
+)
+
+__all__ = [
+    "EdgeStub",
+    "PartitionedExperimentGraph",
+    "SplitWorkload",
+    "RoutedWorkload",
+    "balanced_source_names",
+    "lineage_fingerprint",
+    "route_workload",
+    "shard_of_source",
+    "ShardedCommitResult",
+    "ShardedEGService",
+    "ShardedServicePlan",
+    "ShardedUpdateTicket",
+    "StitchedSnapshot",
+    "save_partitioned_eg",
+    "load_partitioned_eg",
+]

@@ -1,0 +1,676 @@
+"""Sharded Experiment Graph service: N merge workers behind one coordinator.
+
+:class:`ShardedEGService` runs one full :class:`~repro.service.core.EGService`
+per shard — its own merge worker (or inline merge path), its own
+:class:`~repro.service.versioned.VersionedExperimentGraph` snapshot chain,
+and its own version-keyed plan cache — over the partitions of one
+:class:`~repro.shard.partition.PartitionedExperimentGraph`.  A thin
+coordinator owns routing and global ordering:
+
+* **commit** — the coordinator routes the executed workload by root-lineage
+  fingerprint, checks backpressure on *every* involved shard before
+  allocating the next gap-free global commit index, splits the workload
+  into per-partition pieces stamped with that index
+  (``WorkloadDAG.global_index``), and enqueues each piece on its shard.
+  Pieces of different workloads merge concurrently on different shards;
+  pieces touching one shard merge in submission order, so every vertex —
+  which lives on exactly one shard — sees its updates in global commit
+  order.  That is the invariant behind the bit-identical-convergence
+  guarantee (each shard's sub-graph replays exactly the flat sequence).
+* **plan** — a workload whose lineage lives on one shard is delegated to
+  that shard's service (snapshot lease, plan cache and all).  A workload
+  spanning shards gets a :class:`StitchedSnapshot`: one lease per involved
+  shard, vertex resolution through the owner map, with every non-home
+  shard's artifacts priced as remote — reported at
+  :attr:`~repro.eg.storage.StorageTier.COLD` so the
+  :class:`~repro.storage.TieredLoadCostModel` charges them at transfer
+  (disk) bandwidth rather than local-RAM speed.
+
+Known limitation, by design: a cross-shard commit is not atomic across
+shards.  If one piece is rejected by artifact-divergence checking while a
+sibling piece merges, the EG keeps the merged piece (the same end state a
+re-submission of the valid sub-workload would reach); the commit as a
+whole reports the failure.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, cast
+
+from ..eg.graph import ExperimentGraph
+from ..eg.storage import ArtifactStore, LoadCostModel, StorageTier
+from ..graph.dag import WorkloadDAG
+from ..materialization.base import Materializer
+from ..obs.metrics import MetricsRegistry
+from ..reuse.linear import LinearReuse
+from ..server.optimizer import OptimizationResult, Optimizer
+from ..service.core import CommitRecord, CommitResult, EGService, ServiceSession, UpdateTicket
+from ..service.errors import (
+    RequestTimeoutError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    UnknownSessionError,
+)
+from ..service.stats import MetricsRecorder, ServiceStats
+from ..service.versioned import SnapshotLease
+from ..storage import TieredLoadCostModel
+from .partition import PartitionedExperimentGraph
+from .routing import RoutedWorkload
+
+__all__ = [
+    "StitchedSnapshot",
+    "ShardedServicePlan",
+    "ShardedCommitResult",
+    "ShardedUpdateTicket",
+    "ShardedEGService",
+]
+
+#: shards-involved-per-workload histogram bounds (powers of two)
+_SPAN_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+class StitchedSnapshot:
+    """Read-only EG view stitched from one snapshot lease per shard.
+
+    Duck-types the slice of :class:`~repro.eg.graph.ExperimentGraph` that
+    planning and execution read — ``__contains__`` / ``vertex`` / ``load``
+    / ``tier_of`` / ``warmstart_candidates`` / ``materialized_ids`` —
+    resolving each vertex to the one shard that owns it.  Artifacts owned
+    by a shard other than ``home`` report :attr:`StorageTier.COLD`, which
+    is how "remote materialized artifact" turns into a load-vertex priced
+    through the tiered load-cost model's cold (transfer-bandwidth) arm.
+    """
+
+    def __init__(
+        self,
+        leases: dict[int, SnapshotLease],
+        owner: dict[str, int],
+        home: int,
+        resolver: Callable[[str], int | None],
+    ):
+        self.leases = leases
+        self.home = home
+        #: vertex id -> shard, seeded with the routed workload's owners and
+        #: extended lazily as off-workload vertices (e.g. warmstart
+        #: candidates) resolve
+        self._owner = dict(owner)
+        self._resolver = resolver
+
+    def owner_of(self, vertex_id: str) -> int | None:
+        shard = self._owner.get(vertex_id)
+        if shard is not None and shard in self.leases:
+            return shard
+        shard = self._resolver(vertex_id)
+        if shard is not None and shard in self.leases:
+            self._owner[vertex_id] = shard
+            return shard
+        for shard, lease in self.leases.items():
+            if vertex_id in lease.eg:
+                self._owner[vertex_id] = shard
+                return shard
+        return None
+
+    # -- ExperimentGraph read surface ----------------------------------
+    def __contains__(self, vertex_id: str) -> bool:
+        shard = self.owner_of(vertex_id)
+        return shard is not None and vertex_id in self.leases[shard].eg
+
+    def vertex(self, vertex_id: str):
+        shard = self.owner_of(vertex_id)
+        if shard is None or vertex_id not in self.leases[shard].eg:
+            raise KeyError(f"unknown vertex {vertex_id[:12]}")
+        return self.leases[shard].eg.vertex(vertex_id)
+
+    def load(self, vertex_id: str):
+        shard = self.owner_of(vertex_id)
+        if shard is None:
+            raise KeyError(f"unknown vertex {vertex_id[:12]}")
+        return self.leases[shard].eg.load(vertex_id)
+
+    def tier_of(self, vertex_id: str) -> StorageTier:
+        shard = self.owner_of(vertex_id)
+        if shard is None or vertex_id not in self.leases[shard].eg:
+            return StorageTier.HOT
+        if shard != self.home:
+            return StorageTier.COLD
+        return self.leases[shard].eg.tier_of(vertex_id)
+
+    def warmstart_candidates(self, training_input_id: str, model_type: str) -> list:
+        shard = self.owner_of(training_input_id)
+        if shard is None:
+            return []
+        return self.leases[shard].eg.warmstart_candidates(
+            training_input_id, model_type
+        )
+
+    def materialized_ids(self) -> set[str]:
+        materialized: set[str] = set()
+        for lease in self.leases.values():
+            materialized |= lease.eg.materialized_ids()
+        return materialized
+
+    def release(self) -> None:
+        for lease in self.leases.values():
+            lease.release()
+
+
+@dataclass
+class ShardedServicePlan:
+    """Cross-shard plan response: one optimization over a stitched snapshot.
+
+    Duck-types :class:`~repro.service.core.ServicePlan` (``result`` /
+    ``eg`` / ``version`` / ``release`` / context manager) so clients and
+    executors treat single-shard and stitched plans identically.
+    """
+
+    session_id: str
+    result: OptimizationResult
+    snapshot: StitchedSnapshot
+
+    @property
+    def eg(self) -> StitchedSnapshot:
+        return self.snapshot
+
+    @property
+    def version(self) -> int:
+        return sum(lease.version for lease in self.snapshot.leases.values())
+
+    def release(self) -> None:
+        self.snapshot.release()
+
+    def __enter__(self) -> "ShardedServicePlan":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.release()
+
+
+@dataclass(frozen=True)
+class ShardedCommitResult:
+    """Outcome of one workload committed through the coordinator."""
+
+    #: global, gap-free position in the coordinator's commit order (1-based)
+    commit_index: int
+    #: sum of all shards' published versions after this commit (monotone)
+    version: int
+    #: largest per-shard merge batch this commit rode in
+    batch_size: int
+    new_sources: int
+    #: per-shard results for the pieces of this workload
+    shard_results: dict[int, CommitResult] = field(default_factory=dict)
+
+
+class ShardedUpdateTicket:
+    """Pending cross-shard commit: one underlying ticket per involved shard."""
+
+    def __init__(
+        self,
+        coordinator: "ShardedEGService",
+        session_id: str,
+        label: str,
+        commit_index: int,
+        tickets: dict[int, UpdateTicket],
+    ):
+        self._coordinator = coordinator
+        self.session_id = session_id
+        self.label = label
+        self.commit_index = commit_index
+        self.tickets = tickets
+        self._lock = threading.Lock()
+        self._result: ShardedCommitResult | None = None
+        self._error: BaseException | None = None
+        self._finalized = False
+
+    @property
+    def done(self) -> bool:
+        return all(ticket.done for ticket in self.tickets.values())
+
+    def wait(self, timeout: float | None = None) -> ShardedCommitResult:
+        """Block until every shard merged its piece (shared deadline).
+
+        A timeout propagates without finalizing — the merge outcome is
+        still unknown and a later ``wait`` can observe it.  A shard-side
+        failure (e.g. artifact divergence) waits out the sibling pieces,
+        then finalizes the commit as rejected and re-raises.
+        """
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        results: dict[int, CommitResult] = {}
+        failure: BaseException | None = None
+        for shard in sorted(self.tickets):
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                results[shard] = self.tickets[shard].wait(remaining)
+            except RequestTimeoutError:
+                raise
+            except BaseException as error:  # noqa: BLE001 - collected, re-raised below
+                if failure is None:
+                    failure = error
+        return self._finalize(results, failure)
+
+    def _finalize(
+        self, results: dict[int, CommitResult], failure: BaseException | None
+    ) -> ShardedCommitResult:
+        with self._lock:
+            if not self._finalized:
+                self._finalized = True
+                if failure is not None:
+                    self._error = failure
+                    self._coordinator._finish_commit(self, None)
+                else:
+                    self._result = self._coordinator._finish_commit(self, results)
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+class ShardedEGService:
+    """Coordinator over N per-shard :class:`EGService` instances."""
+
+    def __init__(
+        self,
+        materializer_factory: Callable[[int], Materializer],
+        n_shards: int,
+        *,
+        reuse_algorithm=None,
+        stores: list[ArtifactStore] | None = None,
+        load_cost_model: LoadCostModel | None = None,
+        warmstarting: bool = False,
+        warmstart_policy: str = "best_quality",
+        queue_capacity: int = 64,
+        batch_linger_s: float = 0.0,
+        request_timeout_s: float = 30.0,
+        background: bool = False,
+        metrics_registry: MetricsRegistry | None = None,
+        plan_cache_size: int = 128,
+        debug_cross_check: bool = False,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        self.n_shards = n_shards
+        self.partitioned = PartitionedExperimentGraph(n_shards, stores=stores)
+        #: the default prices local artifacts at RAM speed (the hot arm
+        #: equals in-memory pricing) and remote ones — which the stitched
+        #: snapshot reports COLD — at transfer bandwidth
+        self.load_cost_model = (
+            load_cost_model
+            if load_cost_model is not None
+            else TieredLoadCostModel.default()
+        )
+        self.reuse_algorithm = (
+            reuse_algorithm
+            if reuse_algorithm is not None
+            else LinearReuse(self.load_cost_model)
+        )
+        self.warmstarting = warmstarting
+        self.warmstart_policy = warmstart_policy
+        self.request_timeout_s = request_timeout_s
+        #: each shard gets the full queue capacity: capacity bounds the
+        #: per-merge-worker backlog, and there is one worker per shard
+        self.shards: list[EGService] = [
+            EGService(
+                materializer_factory(index),
+                reuse_algorithm=self.reuse_algorithm,
+                eg=self.partitioned.partitions[index],
+                load_cost_model=self.load_cost_model,
+                warmstarting=warmstarting,
+                warmstart_policy=warmstart_policy,
+                queue_capacity=queue_capacity,
+                batch_linger_s=batch_linger_s,
+                request_timeout_s=request_timeout_s,
+                background=background,
+                plan_cache_size=plan_cache_size,
+                debug_cross_check=debug_cross_check,
+            )
+            for index in range(n_shards)
+        ]
+
+        self._sessions: dict[str, ServiceSession] = {}
+        #: coordinator session id -> per-shard session ids (index by shard)
+        self._shard_sessions: dict[str, list[str]] = {}
+        self._session_counter = itertools.count(1)
+        self._registry_lock = threading.Lock()
+        #: serializes route -> backpressure check -> index allocation ->
+        #: split -> enqueue, so global commit indices are gap-free and
+        #: per-shard queues receive pieces in global order
+        self._submit_lock = threading.Lock()
+        self._commit_log: list[CommitRecord] = []
+        self._log_lock = threading.Lock()
+        self._stopped = False
+
+        self.metrics_registry = (
+            metrics_registry if metrics_registry is not None else MetricsRegistry()
+        )
+        self._metrics = MetricsRecorder(self.metrics_registry)
+        reg = self.metrics_registry
+        self._routed_counter = reg.counter(
+            "repro_shard_routed_workloads_total",
+            "workload pieces routed to each shard",
+            ("shard",),
+        )
+        self._cross_commits = reg.counter(
+            "repro_shard_cross_shard_commits_total",
+            "commits whose lineage spans more than one shard",
+        )
+        self._remote_loads = reg.counter(
+            "repro_shard_remote_planned_loads_total",
+            "planned loads resolved from a non-home shard",
+        )
+        self._span_hist = reg.histogram(
+            "repro_shard_workload_span",
+            "shards involved per routed workload",
+            buckets=_SPAN_BUCKETS,
+        )
+        self._stub_gauge = reg.gauge(
+            "repro_shard_stub_edges_total",
+            "cross-partition edge stubs registered",
+        )
+        self._shard_queue_gauge = reg.gauge(
+            "repro_shard_queue_depth",
+            "per-shard update-queue depth at last observation",
+            ("shard",),
+        )
+        self._shard_peak_gauge = reg.gauge(
+            "repro_shard_merge_queue_peak",
+            "per-shard high-water update-queue depth",
+            ("shard",),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for shard in self.shards:
+            shard.start()
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        self._stopped = True
+        for shard in self.shards:
+            shard.stop(drain=drain, timeout=timeout)
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def __enter__(self) -> "ShardedEGService":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.stop(drain=True)
+
+    def _require_running(self) -> None:
+        if self._stopped:
+            raise ServiceStoppedError("service is stopped")
+
+    # ------------------------------------------------------------------
+    # Sessions (coordinator-level, mirrored onto every shard)
+    # ------------------------------------------------------------------
+    def open_session(self, name: str | None = None) -> ServiceSession:
+        self._require_running()
+        with self._registry_lock:
+            number = next(self._session_counter)
+            session = ServiceSession(
+                session_id=f"c{number:04d}", name=name or f"session-{number}"
+            )
+            self._sessions[session.session_id] = session
+        shard_ids = [
+            shard.open_session(f"{session.name}@shard{index}").session_id
+            for index, shard in enumerate(self.shards)
+        ]
+        with self._registry_lock:
+            self._shard_sessions[session.session_id] = shard_ids
+        self._metrics.register_session(session.session_id, session.name)
+        return session
+
+    def close_session(self, session_id: str) -> None:
+        with self._registry_lock:
+            self._sessions.pop(session_id, None)
+            shard_ids = self._shard_sessions.pop(session_id, None)
+        if shard_ids is not None:
+            for index, shard in enumerate(self.shards):
+                shard.close_session(shard_ids[index])
+
+    def _require_session(self, session_id: str) -> list[str]:
+        with self._registry_lock:
+            shard_ids = self._shard_sessions.get(session_id)
+        if shard_ids is None:
+            raise UnknownSessionError(f"no open session {session_id!r}")
+        return shard_ids
+
+    # ------------------------------------------------------------------
+    # Read side: routed, possibly stitched, planning
+    # ------------------------------------------------------------------
+    def plan(self, session_id: str, workload: WorkloadDAG):
+        """Optimize a workload against the shard(s) owning its lineage.
+
+        Single-shard lineages delegate to that shard's service — snapshot
+        lease, version-keyed plan cache and all.  Multi-shard lineages
+        plan once at the coordinator over a :class:`StitchedSnapshot`
+        (counted as a coordinator plan-cache miss: stitched plans are not
+        cached because their key would span N independent version chains).
+        """
+        shard_ids = self._require_session(session_id)
+        self._require_running()
+        routed = self.partitioned.route(workload)
+        involved = routed.involved_shards
+        if len(involved) == 1:
+            shard = involved[0]
+            plan = self.shards[shard].plan(shard_ids[shard], workload)
+            self._metrics.record_plan(session_id, len(plan.result.plan.loads))
+            return plan
+        return self._plan_stitched(session_id, workload, routed)
+
+    def _plan_stitched(
+        self, session_id: str, workload: WorkloadDAG, routed: RoutedWorkload
+    ) -> ShardedServicePlan:
+        home = routed.home_shard()
+        leases: dict[int, SnapshotLease] = {}
+        try:
+            for shard in routed.involved_shards:
+                leases[shard] = self.shards[shard].versioned.acquire()
+            snapshot = StitchedSnapshot(
+                leases=leases,
+                owner=routed.owner,
+                home=home,
+                resolver=self.partitioned.partition_of,
+            )
+            optimizer = Optimizer(
+                cast(ExperimentGraph, snapshot),
+                self.reuse_algorithm,
+                self.warmstarting,
+                self.warmstart_policy,
+            )
+            result = optimizer.optimize(workload)
+        except BaseException:
+            for lease in leases.values():
+                lease.release()
+            raise
+        self._metrics.record_plan_cache(hit=False)
+        self._metrics.record_plan(session_id, len(result.plan.loads))
+        remote = sum(
+            1
+            for vertex_id in result.plan.loads
+            if snapshot.owner_of(vertex_id) != home
+        )
+        if remote:
+            self._remote_loads.inc(remote)
+        return ShardedServicePlan(
+            session_id=session_id, result=result, snapshot=snapshot
+        )
+
+    # ------------------------------------------------------------------
+    # Write side: routed commit fan-out
+    # ------------------------------------------------------------------
+    def submit_update(
+        self, session_id: str, executed: WorkloadDAG, label: str = ""
+    ) -> ShardedUpdateTicket:
+        """Route, split, and enqueue one executed workload; non-blocking.
+
+        Backpressure is checked on **every** involved shard before the
+        global commit index is allocated, so a rejected submission leaves
+        no gap in the commit order and no partially enqueued pieces.
+        """
+        shard_ids = self._require_session(session_id)
+        with self._submit_lock:
+            self._require_running()
+            routed = self.partitioned.route(executed)
+            involved = routed.involved_shards
+            for shard in involved:
+                if self.shards[shard].queue_headroom() < 1:
+                    self._metrics.record_overload()
+                    raise ServiceOverloadedError(
+                        f"shard {shard} update queue is full"
+                    )
+            commit_index = self.partitioned.next_global_index()
+            split = self.partitioned.split(executed, routed)
+            tickets: dict[int, UpdateTicket] = {}
+            for shard in sorted(split.pieces):
+                piece = split.pieces[shard]
+                piece.global_index = commit_index
+                tickets[shard] = self.shards[shard].submit_update(
+                    shard_ids[shard], piece, label=label
+                )
+                self._routed_counter.inc(shard=str(shard))
+            self._span_hist.observe(float(len(involved)))
+            if len(involved) > 1:
+                self._cross_commits.inc()
+        return ShardedUpdateTicket(self, session_id, label, commit_index, tickets)
+
+    def commit(
+        self,
+        session_id: str,
+        executed: WorkloadDAG,
+        label: str = "",
+        timeout: float | None = None,
+    ) -> ShardedCommitResult:
+        ticket = self.submit_update(session_id, executed, label)
+        return ticket.wait(
+            timeout if timeout is not None else self.request_timeout_s
+        )
+
+    def _finish_commit(
+        self, ticket: ShardedUpdateTicket, results: dict[int, CommitResult] | None
+    ) -> ShardedCommitResult | None:
+        """Record one commit's outcome (called once per ticket)."""
+        if results is None:
+            self._metrics.record_commit(ticket.session_id, merged=False)
+            return None
+        version = self.version
+        with self._log_lock:
+            self._commit_log.append(
+                CommitRecord(
+                    commit_index=ticket.commit_index,
+                    version=version,
+                    session_id=ticket.session_id,
+                    label=ticket.label,
+                )
+            )
+        self._metrics.record_commit(ticket.session_id, merged=True)
+        return ShardedCommitResult(
+            commit_index=ticket.commit_index,
+            version=version,
+            batch_size=max(result.batch_size for result in results.values()),
+            new_sources=sum(result.new_sources for result in results.values()),
+            shard_results=dict(results),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Sum of all shards' published versions (monotone, starts at N×1)."""
+        return sum(shard.versioned.version for shard in self.shards)
+
+    def flatten(self, store: ArtifactStore | None = None) -> ExperimentGraph:
+        """Single-graph view of the partitioned EG (see
+        :meth:`PartitionedExperimentGraph.flatten`); consistent once every
+        submitted commit has resolved."""
+        return self.partitioned.flatten(store)
+
+    def commit_log(self) -> list[CommitRecord]:
+        """Coordinator commit log in global commit-index order."""
+        with self._log_lock:
+            return sorted(self._commit_log, key=lambda record: record.commit_index)
+
+    def store_statistics(self) -> dict:
+        return {
+            f"shard{index}": shard.store_statistics()
+            for index, shard in enumerate(self.shards)
+        }
+
+    def record_request_latency(self, seconds: float) -> None:
+        self._metrics.record_request_latency(seconds)
+
+    def record_retry(self, session_id: str) -> None:
+        self._metrics.record_retry(session_id)
+
+    def shard_stats(self) -> list[ServiceStats]:
+        """Each shard's own frozen stats (plan caches, queues, merges)."""
+        return [shard.stats() for shard in self.shards]
+
+    def stats(self) -> ServiceStats:
+        """One aggregated :class:`ServiceStats` across coordinator + shards.
+
+        Request-shaped counters (plans, commits, rejections, retries,
+        latencies, sessions) come from the coordinator recorder — it sees
+        every request exactly once.  Merge-shaped counters (batches,
+        merge seconds, publishes, dirty totals, plan caches, queues) sum
+        over the shards, with maxima taken for the ``max_*`` gauges and
+        the queue peak.
+        """
+        from dataclasses import replace
+
+        per_shard = self.shard_stats()
+        for index, stats in enumerate(per_shard):
+            self._shard_queue_gauge.set(stats.queue_depth, shard=str(index))
+            self._shard_peak_gauge.set(stats.queue_peak, shard=str(index))
+        self._stub_gauge.set(self.partitioned.stub_count)
+        with self._registry_lock:
+            open_sessions = len(self._sessions)
+        base = self._metrics.snapshot(
+            version=self.version,
+            open_sessions=open_sessions,
+            queue_depth=sum(stats.queue_depth for stats in per_shard),
+            queue_capacity=sum(stats.queue_capacity for stats in per_shard),
+            deferred_evictions=sum(stats.deferred_evictions for stats in per_shard),
+            queue_peak=max(stats.queue_peak for stats in per_shard),
+        )
+        return replace(
+            base,
+            batches=sum(stats.batches for stats in per_shard),
+            merged_workloads=sum(stats.merged_workloads for stats in per_shard),
+            max_batch_size=max(stats.max_batch_size for stats in per_shard),
+            merge_seconds_total=sum(stats.merge_seconds_total for stats in per_shard),
+            max_merge_seconds=max(stats.max_merge_seconds for stats in per_shard),
+            plan_cache_hits=base.plan_cache_hits
+            + sum(stats.plan_cache_hits for stats in per_shard),
+            plan_cache_misses=base.plan_cache_misses
+            + sum(stats.plan_cache_misses for stats in per_shard),
+            publishes=sum(stats.publishes for stats in per_shard),
+            publish_dirty_vertices=sum(
+                stats.publish_dirty_vertices for stats in per_shard
+            ),
+            utility_cost_dirty=sum(stats.utility_cost_dirty for stats in per_shard),
+            utility_potential_dirty=sum(
+                stats.utility_potential_dirty for stats in per_shard
+            ),
+            overload_rejections=base.overload_rejections
+            + sum(stats.overload_rejections for stats in per_shard),
+        )
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition of the coordinator registry (shard-level
+        series live in each shard service's own registry)."""
+        self.stats()  # refresh the repro_shard_* gauges first
+        return self.metrics_registry.render_prometheus()
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        self.stats()
+        return self.metrics_registry.snapshot()

@@ -29,6 +29,7 @@ __all__ = [
     "generate_synthetic_workload",
     "build_matching_eg",
     "SleepOperation",
+    "SleepJoinOperation",
     "build_wide_workload",
     "wide_workload_script",
 ]
@@ -118,6 +119,29 @@ class SleepOperation(DataOperation):
     def run(self, underlying_data: Any) -> Any:
         time.sleep(self.seconds)
         return underlying_data
+
+
+class SleepJoinOperation(DataOperation):
+    """Row-concat join with an explicit wall-clock cost.
+
+    The multi-input counterpart of :class:`SleepOperation`: stacks its
+    input frames vertically after sleeping ``seconds``, and declares the
+    same value as ``virtual_cost`` so the recorded compute time of join
+    vertices is machine-independent.  Raw ``concat_rows`` would record
+    real measured wall time, which breaks bit-identical replay checks.
+    """
+
+    def __init__(self, branch: int, step: int, seconds: float):
+        super().__init__(
+            "sleep_join", params={"branch": branch, "step": step, "seconds": seconds}
+        )
+        self.seconds = float(seconds)
+        self.virtual_cost = float(seconds)
+
+    def run(self, underlying_data: Any) -> DataFrame:
+        time.sleep(self.seconds)
+        frames = list(underlying_data)
+        return DataFrame.concat_rows(frames, operation_hash=self.op_hash)
 
 
 def _wide_source(n_rows: int, seed: int) -> DataFrame:

@@ -59,6 +59,36 @@ class TestPersistence:
             assert twin.compute_time == vertex.compute_time
             assert twin.size == vertex.size
             assert twin.materialized == vertex.materialized
+            assert twin.last_seen == vertex.last_seen
+
+    def test_last_seen_tracks_latest_workload(self, tmp_path):
+        # two unions stamp different last_seen indices; both must survive
+        eg = populated_eg()
+        dag = WorkloadDAG()
+        current = dag.add_source("src", payload=DataFrame({"x": np.arange(6.0)}))
+        current = dag.add_operation([current], Step(0))
+        dag.vertex(current).record_result(
+            DataFrame({"x": np.arange(6.0)}), compute_time=1.0
+        )
+        dag.mark_terminal(current)
+        Updater(eg, MaterializeAll()).update(dag)
+        assert len({v.last_seen for v in eg.vertices()}) > 1
+        save_eg(eg, tmp_path)
+        restored = load_eg(tmp_path)
+        for vertex in eg.vertices():
+            assert restored.vertex(vertex.vertex_id).last_seen == vertex.last_seen
+
+    def test_document_without_last_seen_loads_as_zero(self, tmp_path):
+        # v2 documents written before last_seen was persisted stay readable
+        eg = populated_eg()
+        save_eg(eg, tmp_path)
+        graph_path = tmp_path / "graph.json"
+        document = json.loads(graph_path.read_text())
+        for record in document["vertices"]:
+            del record["last_seen"]
+        graph_path.write_text(json.dumps(document))
+        restored = load_eg(tmp_path)
+        assert all(v.last_seen == 0 for v in restored.vertices())
 
     def test_roundtrip_store_contents(self, tmp_path):
         eg = populated_eg()

@@ -84,6 +84,41 @@ class TestSnapshotConcurrency:
         assert stats.plans_total == 2000
         assert stats.batches == 2000
 
+    def test_snapshot_is_one_consistent_cut(self):
+        """Regression: a snapshot must not tear across instruments.
+
+        Every writer records a plan strictly before its commit, so any
+        consistent cut satisfies ``commits_total <= plans_total``.  The
+        old snapshot read each instrument at a different instant, letting
+        commits recorded after the plans were read leak in and violate
+        the invariant.
+        """
+        recorder = MetricsRecorder()
+        recorder.register_session("s1", "writer")
+        stop = threading.Event()
+        violations: list[tuple[int, int]] = []
+
+        def snapshotter():
+            while not stop.is_set():
+                stats = snap(recorder)
+                if stats.commits_total > stats.plans_total:
+                    violations.append((stats.commits_total, stats.plans_total))
+
+        threads = [threading.Thread(target=snapshotter) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(3000):
+                recorder.record_plan("s1", planned_loads=1)
+                recorder.record_commit("s1", merged=True)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert violations == []
+        stats = snap(recorder)
+        assert stats.plans_total == stats.commits_total == 3000
+
     def test_concurrent_writers_lose_no_counts(self):
         recorder = MetricsRecorder()
         recorder.register_session("s1", "a")

@@ -1,0 +1,124 @@
+"""Root-lineage routing: fingerprints, shard assignment, cross edges."""
+
+import pytest
+
+from repro.graph.dag import WorkloadDAG, source_vertex_id
+from repro.graph.operations import DataOperation
+from repro.shard import (
+    balanced_source_names,
+    lineage_fingerprint,
+    route_workload,
+    shard_of_source,
+)
+
+
+class Step(DataOperation):
+    def __init__(self, tag):
+        super().__init__("step", params={"tag": tag})
+
+    def run(self, underlying_data):
+        return underlying_data
+
+
+class Join(DataOperation):
+    def __init__(self):
+        super().__init__("join")
+
+    def run(self, underlying_data):
+        return underlying_data[0]
+
+
+def chain(source: str, depth: int = 3) -> WorkloadDAG:
+    dag = WorkloadDAG()
+    current = dag.add_source(source)
+    for index in range(depth):
+        current = dag.add_operation([current], Step(index))
+    dag.mark_terminal(current)
+    return dag
+
+
+class TestLineageFingerprint:
+    def test_deterministic_and_order_independent(self):
+        a = lineage_fingerprint({"v1", "v2"})
+        b = lineage_fingerprint(frozenset(["v2", "v1"]))
+        assert a == b
+        assert len(a) == 64
+
+    def test_distinct_root_sets_distinct_fingerprints(self):
+        assert lineage_fingerprint({"v1"}) != lineage_fingerprint({"v1", "v2"})
+
+    def test_source_routing_is_stable_across_calls(self):
+        assert shard_of_source("ds0", 4) == shard_of_source("ds0", 4)
+
+
+class TestRouteWorkload:
+    def test_single_chain_lands_on_one_shard(self):
+        routed = route_workload(chain("solo"), 4)
+        assert routed.involved_shards == [shard_of_source("solo", 4)]
+        assert routed.cross_edges == []
+
+    def test_same_lineage_routes_identically_across_workloads(self):
+        first = route_workload(chain("shared", depth=2), 4)
+        second = route_workload(chain("shared", depth=5), 4)
+        for vertex_id, owner in first.owner.items():
+            assert second.owner[vertex_id] == owner
+
+    def test_join_output_unions_root_sets(self):
+        names = balanced_source_names(2, 2)
+        dag = WorkloadDAG()
+        left = dag.add_source(names[0])
+        right = dag.add_source(names[1])
+        joined = dag.add_operation([left, right], Join())
+        dag.mark_terminal(joined)
+        routed = route_workload(dag, 2)
+        union_fp = lineage_fingerprint(
+            {source_vertex_id(names[0]), source_vertex_id(names[1])}
+        )
+        # the supernode and the join output both carry the union lineage
+        assert routed.fingerprints[joined] == union_fp
+        assert len(routed.involved_shards) >= 2
+
+    def test_cross_edges_listed_only_across_partitions(self):
+        names = balanced_source_names(2, 2)
+        dag = WorkloadDAG()
+        left = dag.add_source(names[0])
+        right = dag.add_source(names[1])
+        joined = dag.add_operation([left, right], Join())
+        dag.mark_terminal(joined)
+        routed = route_workload(dag, 2)
+        for src, dst in routed.cross_edges:
+            assert routed.owner[src] != routed.owner[dst]
+        assert routed.cross_edges  # a 2-group join must cross at least once
+
+    def test_home_shard_is_majority_owner(self):
+        names = balanced_source_names(2, 2)
+        dag = WorkloadDAG()
+        left = dag.add_source(names[0])
+        for index in range(4):
+            left = dag.add_operation([left], Step(index))
+        right = dag.add_source(names[1])
+        joined = dag.add_operation([left, right], Join())
+        dag.mark_terminal(joined)
+        routed = route_workload(dag, 2)
+        counts = routed.shard_vertex_counts()
+        home = routed.home_shard()
+        assert counts[home] == max(counts.values())
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            route_workload(chain("x"), 0)
+
+
+class TestBalancedSourceNames:
+    def test_groups_route_to_their_target_shard(self):
+        names = balanced_source_names(8, 4)
+        assert len(names) == len(set(names)) == 8
+        for group, name in enumerate(names):
+            assert shard_of_source(name, 4) == group % 4
+
+    def test_deterministic(self):
+        assert balanced_source_names(6, 3) == balanced_source_names(6, 3)
+
+    def test_prefix_is_honoured(self):
+        for name in balanced_source_names(3, 2, prefix="swarm"):
+            assert name.startswith("swarm")
