@@ -131,11 +131,23 @@ def _run_swarm(_sources, args) -> None:
     from ..storage import TieredArtifactStore
     from .swarm import run_swarm
 
+    transport = None if args.transport == "inproc" else args.transport
     if args.shards > 1:
         # sharded services own one store per partition, so the tiered
         # store override does not apply
         result = run_swarm(
-            clients=args.clients, rounds=args.rounds, shards=args.shards
+            clients=args.clients,
+            rounds=args.rounds,
+            shards=args.shards,
+            transport=transport,
+            transport_codec=args.transport_codec,
+        )
+    elif transport is not None:
+        result = run_swarm(
+            clients=args.clients,
+            rounds=args.rounds,
+            transport=transport,
+            transport_codec=args.transport_codec,
         )
     else:
         # a small hot budget forces real demotions/promotions under
@@ -145,11 +157,31 @@ def _run_swarm(_sources, args) -> None:
         result = run_swarm(clients=args.clients, rounds=args.rounds, store=store)
     stats = result.stats
     shard_note = f" across {result.shards} shards" if result.shards > 1 else ""
+    transport_note = (
+        f" over tcp/{result.transport_codec}" if result.transport == "tcp" else ""
+    )
     _print(
         f"Swarm: {result.clients} concurrent clients x {result.rounds} workloads "
         f"({result.workloads} commits in {result.wall_seconds:.2f}s, "
-        f"{result.throughput:.1f}/s{shard_note})"
+        f"{result.throughput:.1f}/s{shard_note}{transport_note})"
     )
+    if result.transport == "tcp":
+        wire = result.wire_stats
+        client_wire = result.client_wire_stats
+        _print(
+            f"  wire: {wire.get('bytes_in', 0):.0f} B in / "
+            f"{wire.get('bytes_out', 0):.0f} B out over "
+            f"{wire.get('frames_in', 0):.0f}+{wire.get('frames_out', 0):.0f} frames; "
+            f"inflight peak {wire.get('inflight_peak', 0):.0f}; "
+            f"shed {wire.get('shed', 0):.0f}"
+        )
+        _print(
+            f"  dedup: {wire.get('dedup_refs', 0):.0f} server + "
+            f"{client_wire.get('dedup_refs_sent', 0)} client column refs "
+            f"({wire.get('dedup_bytes_saved', 0):.0f} + "
+            f"{client_wire.get('dedup_bytes_saved', 0)} B saved); "
+            f"pool retries {client_wire.get('retries', 0)}"
+        )
     _print(
         f"  merge batches: {stats.batches} "
         f"(mean size {stats.mean_batch_size:.2f}, max {stats.max_batch_size})"
@@ -245,6 +277,18 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         help="EG shards for the swarm experiment (>1 uses the sharded service)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("inproc", "tcp"),
+        default="inproc",
+        help="how swarm tenants reach the service (tcp = async binary transport)",
+    )
+    parser.add_argument(
+        "--transport-codec",
+        choices=("binary", "json"),
+        default="binary",
+        help="wire codec for --transport tcp (json = legacy fallback)",
     )
     parser.add_argument(
         "--hot-budget-bytes",

@@ -203,6 +203,14 @@ class SwarmResult:
     shard_stats: list[ServiceStats] = field(default_factory=list, repr=False)
     #: cross-partition edge stubs registered by the end of the run
     stub_edges: int = 0
+    #: how tenants reached the service: "inproc" or "tcp"
+    transport: str = "inproc"
+    #: wire codec of a tcp run ("binary"/"json"; "" for inproc)
+    transport_codec: str = ""
+    #: server-side transport counters (bytes, frames, sheds, dedup refs)
+    wire_stats: dict[str, float] = field(default_factory=dict, repr=False)
+    #: client-side pool counters (dedup refs sent, retries)
+    client_wire_stats: dict[str, int] = field(default_factory=dict, repr=False)
 
     @property
     def fingerprint_match(self) -> bool | None:
@@ -227,6 +235,33 @@ class SwarmResult:
         return self.stats.mean_dirty_per_publish if self.stats is not None else 0.0
 
 
+def _start_transport(service: Any, clients: int, codec: str):
+    """Bring up the async binary transport in front of ``service``.
+
+    Returns ``(server, pool)``; the pool is shared by every tenant thread
+    (multiplexing carries many logical clients per socket)."""
+    from ..transport import AsyncTransportServer, ConnectionPool
+
+    server = AsyncTransportServer(service, max_workers=min(32, max(8, clients // 2)))
+    host, port = server.start()
+    pool = ConnectionPool(
+        host, port, size=min(8, max(2, clients // 8)), codec=codec, timeout_s=120.0
+    )
+    return server, pool
+
+
+def _teardown_transport(server: Any, pool: Any) -> tuple[dict, dict]:
+    """Close pool then server; returns (server wire stats, client wire stats).
+
+    Pool first: the server samples per-connection dedup counters when a
+    connection closes."""
+    client_stats = pool.wire_stats()
+    pool.close()
+    stats = server.wire_stats()
+    server.stop()
+    return stats, client_stats
+
+
 def run_swarm(
     clients: int = 8,
     rounds: int = 3,
@@ -237,6 +272,8 @@ def run_swarm(
     store: ArtifactStore | None = None,
     debug_cross_check: bool = False,
     shards: int = 1,
+    transport: str | None = None,
+    transport_codec: str = "binary",
 ) -> SwarmResult:
     """Run the swarm and (optionally) verify against a sequential replay.
 
@@ -253,7 +290,20 @@ def run_swarm(
     family — one lineage group per shard with periodic cross-group joins;
     the fingerprint check then compares the *flattened* partitioned EG
     against the sequential single-graph replay.
+
+    ``transport="tcp"`` routes every tenant through the async multiplexed
+    binary transport (:mod:`repro.transport`) instead of in-process
+    calls: one :class:`~repro.transport.AsyncTransportServer` in front of
+    the service, one shared :class:`~repro.transport.ConnectionPool` for
+    all tenants.  ``transport_codec`` selects the wire codec (``binary``
+    zero-copy columnar with dedup, or the ``json`` fallback).  The
+    fingerprint check is transport-independent — the merged EG must be
+    bit-identical either way.
     """
+    if transport not in (None, "inproc", "tcp"):
+        raise ValueError(f"unknown transport {transport!r} (expected 'inproc' or 'tcp')")
+    if transport_codec not in ("binary", "json"):
+        raise ValueError(f"unknown transport codec {transport_codec!r}")
     if shards > 1:
         if store is not None:
             raise ValueError(
@@ -269,6 +319,8 @@ def run_swarm(
             replay=replay,
             debug_cross_check=debug_cross_check,
             shards=shards,
+            transport=transport,
+            transport_codec=transport_codec,
         )
     service = EGService(
         MaterializeAll(),
@@ -279,13 +331,24 @@ def run_swarm(
         background=True,
         debug_cross_check=debug_cross_check,
     )
+    server = pool = None
+    if transport == "tcp":
+        server, pool = _start_transport(service, clients, transport_codec)
     errors: list[BaseException] = []
 
     def tenant(index: int) -> None:
         try:
-            with ServiceClient(
-                service, name=f"client-{index}", cost_model=VirtualCostModel()
-            ) as client:
+            if pool is not None:
+                from ..transport import TransportServiceClient
+
+                client_cm: Any = TransportServiceClient(
+                    name=f"client-{index}", cost_model=VirtualCostModel(), pool=pool
+                )
+            else:
+                client_cm = ServiceClient(
+                    service, name=f"client-{index}", cost_model=VirtualCostModel()
+                )
+            with client_cm as client:
                 for round_index in range(rounds):
                     client.run_script(
                         swarm_script(index, round_index, op_seconds),
@@ -305,6 +368,10 @@ def run_swarm(
     for thread in threads:
         thread.join()
     wall_seconds = time.perf_counter() - started
+    wire_stats: dict = {}
+    client_wire_stats: dict = {}
+    if server is not None:
+        wire_stats, client_wire_stats = _teardown_transport(server, pool)
     service.stop()
     if errors:
         raise errors[0]
@@ -324,6 +391,10 @@ def run_swarm(
         eg_materialized=len(eg.materialized_ids()),
         store_bytes=eg.store.total_bytes,
         concurrent_fingerprint=eg_fingerprint(eg),
+        transport="tcp" if server is not None else "inproc",
+        transport_codec=transport_codec if server is not None else "",
+        wire_stats=wire_stats,
+        client_wire_stats=client_wire_stats,
     )
 
     if replay:
@@ -358,6 +429,8 @@ def _run_swarm_sharded(
     replay: bool,
     debug_cross_check: bool,
     shards: int,
+    transport: str | None = None,
+    transport_codec: str = "binary",
 ) -> SwarmResult:
     from ..shard import ShardedEGService
 
@@ -370,14 +443,25 @@ def _run_swarm_sharded(
         background=True,
         debug_cross_check=debug_cross_check,
     )
+    server = pool = None
+    if transport == "tcp":
+        server, pool = _start_transport(service, clients, transport_codec)
     sources = sharded_swarm_sources(shards)
     errors: list[BaseException] = []
 
     def tenant(index: int) -> None:
         try:
-            with ServiceClient(
-                service, name=f"client-{index}", cost_model=VirtualCostModel()
-            ) as client:
+            if pool is not None:
+                from ..transport import TransportServiceClient
+
+                client_cm: Any = TransportServiceClient(
+                    name=f"client-{index}", cost_model=VirtualCostModel(), pool=pool
+                )
+            else:
+                client_cm = ServiceClient(
+                    service, name=f"client-{index}", cost_model=VirtualCostModel()
+                )
+            with client_cm as client:
                 for round_index in range(rounds):
                     client.run_script(
                         sharded_swarm_script(index, round_index, shards, op_seconds),
@@ -397,6 +481,10 @@ def _run_swarm_sharded(
     for thread in threads:
         thread.join()
     wall_seconds = time.perf_counter() - started
+    wire_stats: dict = {}
+    client_wire_stats: dict = {}
+    if server is not None:
+        wire_stats, client_wire_stats = _teardown_transport(server, pool)
     service.stop()
     if errors:
         raise errors[0]
@@ -422,6 +510,10 @@ def _run_swarm_sharded(
         shards=shards,
         shard_stats=service.shard_stats(),
         stub_edges=service.partitioned.stub_count,
+        transport="tcp" if server is not None else "inproc",
+        transport_codec=transport_codec if server is not None else "",
+        wire_stats=wire_stats,
+        client_wire_stats=client_wire_stats,
     )
     if replay:
         result.replay_fingerprint = eg_fingerprint(

@@ -22,6 +22,8 @@ from .errors import (
     ServiceError,
     ServiceOverloadedError,
     ServiceStoppedError,
+    TransportError,
+    TruncatedFrameError,
     UnknownSessionError,
 )
 from .stats import MetricsRecorder, ServiceStats, SessionStats
@@ -42,6 +44,8 @@ __all__ = [
     "ServiceStoppedError",
     "RequestTimeoutError",
     "UnknownSessionError",
+    "TransportError",
+    "TruncatedFrameError",
     "ServiceStats",
     "SessionStats",
     "MetricsRecorder",

@@ -45,7 +45,8 @@ class RetryPolicy:
     def backoff(self, attempt: int) -> float:
         """Sleep before retry number ``attempt`` (1-based)."""
         return min(
-            self.max_backoff_s, self.initial_backoff_s * self.multiplier ** (attempt - 1)
+            self.max_backoff_s,
+            self.initial_backoff_s * self.multiplier ** (attempt - 1),
         )
 
 

@@ -454,7 +454,9 @@ class EGService:
                 self._plan_cache.move_to_end(key)
             return entry
 
-    def _plan_cache_put(self, key: tuple[str, int, str], result: OptimizationResult) -> None:
+    def _plan_cache_put(
+        self, key: tuple[str, int, str], result: OptimizationResult
+    ) -> None:
         if self.plan_cache_size == 0:
             return
         entry = _CachedPlan(
@@ -473,7 +475,9 @@ class EGService:
             self._plan_cache.clear()
 
     @staticmethod
-    def _result_from_cache(cached: _CachedPlan, eg: ExperimentGraph) -> OptimizationResult:
+    def _result_from_cache(
+        cached: _CachedPlan, eg: ExperimentGraph
+    ) -> OptimizationResult:
         plan = cached.plan.copy()
         return OptimizationResult(
             plan=plan,
@@ -586,7 +590,9 @@ class EGService:
         # the client workload; never entered (this thread keeps no stack)
         commit_spans = []
         for ticket in batch:
-            wait_s = max(0.0, started - ticket.enqueued_at) if ticket.enqueued_at else 0.0
+            wait_s = (
+                max(0.0, started - ticket.enqueued_at) if ticket.enqueued_at else 0.0
+            )
             self._metrics.record_queue_wait(wait_s)
             span = tracer.span(
                 "service.commit",

@@ -13,6 +13,8 @@ __all__ = [
     "ServiceStoppedError",
     "RequestTimeoutError",
     "UnknownSessionError",
+    "TransportError",
+    "TruncatedFrameError",
 ]
 
 
@@ -39,3 +41,22 @@ class RequestTimeoutError(ServiceError, TimeoutError):
 
 class UnknownSessionError(ServiceError, KeyError):
     """A request referenced a session id that is not (or no longer) open."""
+
+
+class TransportError(ServiceError):
+    """A wire-level failure: framing, codec, or connection state.
+
+    Base class for everything :mod:`repro.transport` raises; lives here
+    (rather than in the transport package) so the legacy JSON socket in
+    :mod:`repro.service.tcp` can raise the same types without importing
+    the async subsystem.
+    """
+
+
+class TruncatedFrameError(TransportError, ConnectionError):
+    """The peer closed the connection in the middle of a frame.
+
+    Distinct from an orderly close (EOF *between* frames): a truncated
+    frame means bytes were lost and any response in flight is unknown —
+    callers must not treat it as a clean shutdown.
+    """

@@ -141,7 +141,9 @@ class MetricsRecorder:
             "repro_service_plans_total", "optimize/plan requests served", session
         )
         self._planned_loads = reg.counter(
-            "repro_service_planned_loads_total", "EG loads planned across plans", session
+            "repro_service_planned_loads_total",
+            "EG loads planned across plans",
+            session,
         )
         self._reuse_hits = reg.counter(
             "repro_service_reuse_hits_total", "plans with at least one EG load", session
@@ -150,7 +152,9 @@ class MetricsRecorder:
             "repro_service_commits_total", "workloads merged into the EG", session
         )
         self._rejected = reg.counter(
-            "repro_service_rejected_commits_total", "commits rejected by conflicts", session
+            "repro_service_rejected_commits_total",
+            "commits rejected by conflicts",
+            session,
         )
         self._retries = reg.counter(
             "repro_service_retries_total", "client retries after backpressure", session

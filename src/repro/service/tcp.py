@@ -55,6 +55,7 @@ from .errors import (
     ServiceError,
     ServiceOverloadedError,
     ServiceStoppedError,
+    TruncatedFrameError,
     UnknownSessionError,
 )
 
@@ -70,6 +71,7 @@ _ERROR_TYPES: dict[str, type[Exception]] = {
     "RequestTimeoutError": RequestTimeoutError,
     "UnknownSessionError": UnknownSessionError,
     "ArtifactDivergenceError": ArtifactDivergenceError,
+    "TruncatedFrameError": TruncatedFrameError,
 }
 
 
@@ -83,26 +85,38 @@ def _send_frame(sock: socket.socket, obj: dict[str, Any]) -> None:
     sock.sendall(struct.pack(">I", len(payload)) + payload)
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+def _recv_exact(
+    sock: socket.socket, n: int, *, at_boundary: bool = False
+) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` only on clean EOF at a frame boundary.
+
+    EOF after a partial read — or anywhere mid-frame when ``at_boundary``
+    is false — raises :class:`TruncatedFrameError`: bytes were lost, and
+    treating that as an orderly close would silently drop an in-flight
+    request.
+    """
     chunks = b""
     while len(chunks) < n:
         chunk = sock.recv(n - len(chunks))
         if not chunk:
-            return None
+            if at_boundary and not chunks:
+                return None
+            raise TruncatedFrameError(
+                f"connection closed after {len(chunks)} of {n} frame bytes"
+            )
         chunks += chunk
     return chunks
 
 
 def _recv_frame(sock: socket.socket) -> dict[str, Any] | None:
-    header = _recv_exact(sock, 4)
+    header = _recv_exact(sock, 4, at_boundary=True)
     if header is None:
         return None
     (length,) = struct.unpack(">I", header)
     if length > MAX_FRAME_BYTES:
         raise ServiceError(f"peer announced a {length}-byte frame; refusing")
     payload = _recv_exact(sock, length)
-    if payload is None:
-        return None
+    assert payload is not None  # mid-frame EOF raises instead
     return json.loads(payload.decode("utf-8"))
 
 
@@ -146,7 +160,10 @@ def encode_payload(payload: Any) -> dict[str, Any] | None:
         items = [encode_payload(item) for item in payload]
         if any(item is None for item in items):
             return None
-        return {"kind": "tuple" if isinstance(payload, tuple) else "list", "items": items}
+        return {
+            "kind": "tuple" if isinstance(payload, tuple) else "list",
+            "items": items,
+        }
     return None
 
 
@@ -198,7 +215,9 @@ class _WireOperation(Operation):
     it is never executed — the server only merges already-executed DAGs.
     """
 
-    def __init__(self, name: str, return_type: ArtifactType, params: dict, op_hash: str):
+    def __init__(
+        self, name: str, return_type: ArtifactType, params: dict, op_hash: str
+    ):
         super().__init__(name, return_type, params)
         self.op_hash = op_hash
 

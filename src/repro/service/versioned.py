@@ -119,7 +119,9 @@ class SnapshotLease:
 
     __slots__ = ("eg", "version", "_owner", "_released")
 
-    def __init__(self, eg: ExperimentGraph, version: int, owner: "VersionedExperimentGraph"):
+    def __init__(
+        self, eg: ExperimentGraph, version: int, owner: "VersionedExperimentGraph"
+    ):
         self.eg = eg
         self.version = version
         self._owner = owner

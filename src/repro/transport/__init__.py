@@ -1,0 +1,68 @@
+"""Async multiplexed binary transport for the EG service.
+
+Successor to the blocking length-prefixed-JSON socket of
+:mod:`repro.service.tcp`:
+
+* **Frames** (:mod:`~repro.transport.frames`) — tagged binary frames;
+  the request id in the header lets many requests share one connection
+  and responses return out of order.
+* **Codecs** (:mod:`~repro.transport.codec`) — a zero-copy columnar
+  binary codec (raw numpy buffers over ``memoryview``, per-connection
+  column dedup by lineage id) plus a JSON fallback, selectable per
+  frame.
+* **Server** (:mod:`~repro.transport.server`) — one asyncio event loop
+  serving an :class:`~repro.service.core.EGService` or
+  :class:`~repro.shard.ShardedEGService`, with per-connection
+  pipelining and admission control
+  (:mod:`~repro.transport.admission`) in front of the merge queue.
+* **Client** (:mod:`~repro.transport.client`) — blocking, thread-safe
+  connections multiplexed behind a round-robin pool; a drop-in
+  :class:`TransportServiceClient` mirrors the in-process client loop.
+
+See ``docs/TRANSPORT.md`` for the wire format and shedding tiers.
+"""
+
+from .admission import AdmissionController, AdmissionPolicy, TokenBucket
+from .client import (
+    ConnectionPool,
+    TransportConnection,
+    TransportServiceClient,
+)
+from .codec import BinaryWireCodec, ColumnLedger, JsonWireCodec, make_codec
+from .errors import (
+    AdmissionError,
+    CommitShedError,
+    ConnectionLostError,
+    FrameTooLargeError,
+    PlanShedError,
+    ProtocolError,
+    QuotaExceededError,
+    StaleColumnReferenceError,
+    TransportError,
+    TruncatedFrameError,
+)
+from .server import AsyncTransportServer
+
+__all__ = [
+    "AsyncTransportServer",
+    "TransportConnection",
+    "ConnectionPool",
+    "TransportServiceClient",
+    "AdmissionController",
+    "AdmissionPolicy",
+    "TokenBucket",
+    "BinaryWireCodec",
+    "JsonWireCodec",
+    "ColumnLedger",
+    "make_codec",
+    "TransportError",
+    "TruncatedFrameError",
+    "ProtocolError",
+    "FrameTooLargeError",
+    "StaleColumnReferenceError",
+    "ConnectionLostError",
+    "AdmissionError",
+    "QuotaExceededError",
+    "PlanShedError",
+    "CommitShedError",
+]

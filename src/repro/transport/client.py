@@ -1,0 +1,534 @@
+"""Blocking client side of the async binary transport.
+
+Three layers:
+
+* :class:`TransportConnection` — one multiplexed socket.  Callers stamp
+  requests with fresh tags and park on per-request events; a daemon
+  reader thread demultiplexes response frames by tag, so **many threads
+  share one connection** and responses may return out of order.  A
+  dropped connection fails every in-flight request with
+  :class:`~repro.transport.errors.ConnectionLostError`.
+* :class:`ConnectionPool` — lazy, round-robin pool of connections.  A
+  request that dies with ``ConnectionLostError`` is retried on a fresh
+  connection **exactly once** (commits retried this way are
+  at-least-once; everything else is read-only).
+* :class:`TransportServiceClient` — drop-in counterpart of
+  :class:`~repro.service.tcp.TCPServiceClient`: plans and commits over
+  the binary protocol, executes locally against a stub EG built from the
+  shipped loads, backs off on
+  :class:`~repro.service.errors.ServiceOverloadedError` — which the
+  admission errors subclass, so shed requests retry with the same loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from typing import Any, Callable, Mapping
+
+from ..client.api import Workspace
+from ..client.executor import (
+    ExecutionReport,
+    Executor,
+    VirtualCostModel,
+    WallClockCostModel,
+)
+from ..client.parser import parse_workload
+from ..eg.graph import EGVertex, ExperimentGraph
+from ..eg.storage import ArtifactDivergenceError, SimpleArtifactStore, StorageTier
+from ..graph.artifacts import ArtifactType
+from ..graph.dag import WorkloadDAG
+from ..graph.pruning import prune_workload
+from ..obs.trace import get_tracer
+from ..reuse.plan import ReusePlan
+from ..service.client import RetryPolicy
+from ..service.errors import (
+    RequestTimeoutError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    UnknownSessionError,
+)
+from ..service.tcp import _decode_meta
+from .codec import BinaryWireCodec, ColumnLedger, codec_for_id, make_codec
+from .errors import (
+    CommitShedError,
+    ConnectionLostError,
+    PlanShedError,
+    ProtocolError,
+    QuotaExceededError,
+    StaleColumnReferenceError,
+    TransportError,
+    TruncatedFrameError,
+)
+from .frames import KIND_ERROR, KIND_REQUEST, recv_frame, send_frame
+from .wire import decode_payload, encode_workload
+
+__all__ = [
+    "TransportConnection",
+    "ConnectionPool",
+    "TransportServiceClient",
+    "error_from_wire",
+]
+
+#: wire error name -> exception class (superset of the legacy JSON socket's)
+_WIRE_ERROR_TYPES: dict[str, type[Exception]] = {
+    "ServiceError": ServiceError,
+    "ServiceOverloadedError": ServiceOverloadedError,
+    "ServiceStoppedError": ServiceStoppedError,
+    "RequestTimeoutError": RequestTimeoutError,
+    "UnknownSessionError": UnknownSessionError,
+    "ArtifactDivergenceError": ArtifactDivergenceError,
+    "TransportError": TransportError,
+    "TruncatedFrameError": TruncatedFrameError,
+    "ProtocolError": ProtocolError,
+    "StaleColumnReferenceError": StaleColumnReferenceError,
+    "QuotaExceededError": QuotaExceededError,
+    "PlanShedError": PlanShedError,
+    "CommitShedError": CommitShedError,
+}
+
+
+def error_from_wire(record: Mapping[str, Any]) -> Exception:
+    """Map an error frame body back onto the matching exception class."""
+    error_type = _WIRE_ERROR_TYPES.get(str(record.get("error", "")), ServiceError)
+    return error_type(str(record.get("message", "service request failed")))
+
+
+class _Waiter:
+    """One in-flight request: an event plus the slot the reader fills."""
+
+    __slots__ = ("event", "kind", "message", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.kind: int = 0
+        self.message: Any = None
+        self.error: Exception | None = None
+
+    def resolve(self, kind: int, message: Any) -> None:
+        self.kind = kind
+        self.message = message
+        self.event.set()
+
+    def fail(self, error: Exception) -> None:
+        self.error = error
+        self.event.set()
+
+
+class TransportConnection:
+    """One multiplexed connection to an :class:`AsyncTransportServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        codec: str = "binary",
+        connect_timeout_s: float = 10.0,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout_s)
+        self._sock.settimeout(None)
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self._ledger = ColumnLedger()
+        self._binary = BinaryWireCodec(self._ledger)
+        self._codec = self._binary if codec == "binary" else make_codec(codec)
+        self.codec_name = codec
+        self._send_lock = threading.Lock()
+        self._waiters: dict[int, _Waiter] = {}
+        self._waiters_lock = threading.Lock()
+        self._request_ids = itertools.count(1)
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name="eg-transport-reader", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def dedup_refs_sent(self) -> int:
+        return self._binary.refs_sent
+
+    @property
+    def dedup_bytes_saved(self) -> int:
+        return self._binary.ref_bytes_saved
+
+    # ------------------------------------------------------------------
+    def request(self, message: dict[str, Any], timeout_s: float = 30.0) -> Any:
+        """One round trip; blocks this thread only — others keep flowing."""
+        if self._closed:
+            raise ConnectionLostError("connection already closed")
+        request_id = next(self._request_ids)
+        waiter = _Waiter()
+        with self._waiters_lock:
+            self._waiters[request_id] = waiter
+        try:
+            # encode under the send lock: ledger updates must land in
+            # frame order or the peer could see a reference before the
+            # bytes it names
+            with self._send_lock:
+                parts = self._codec.encode(message)
+                send_frame(
+                    self._sock, KIND_REQUEST, self._codec.codec_id, request_id, parts
+                )
+        except (OSError, ValueError) as error:
+            with self._waiters_lock:
+                self._waiters.pop(request_id, None)
+            raise ConnectionLostError(f"send failed: {error}") from error
+        if not waiter.event.wait(timeout_s):
+            with self._waiters_lock:
+                self._waiters.pop(request_id, None)
+            raise RequestTimeoutError(
+                f"no response within {timeout_s}s (request {request_id})"
+            )
+        if waiter.error is not None:
+            raise waiter.error
+        if waiter.kind == KIND_ERROR:
+            raise error_from_wire(waiter.message)
+        return waiter.message
+
+    # ------------------------------------------------------------------
+    def _read_loop(self) -> None:
+        error: Exception | None = None
+        try:
+            while True:
+                frame = recv_frame(self._sock)
+                if frame is None:
+                    break  # orderly close between frames
+                header, body = frame
+                codec = codec_for_id(header.codec, self._binary)
+                message = codec.decode(body)
+                with self._waiters_lock:
+                    waiter = self._waiters.pop(header.request_id, None)
+                if waiter is not None:
+                    waiter.resolve(header.kind, message)
+                # an unmatched tag is a timed-out request: drop it
+        except (OSError, TransportError) as read_error:
+            error = read_error
+        finally:
+            self._closed = True
+            with self._waiters_lock:
+                orphans = list(self._waiters.values())
+                self._waiters.clear()
+            for waiter in orphans:
+                waiter.fail(
+                    ConnectionLostError(
+                        "connection lost with request in flight: "
+                        f"{error or 'closed by peer'}"
+                    )
+                )
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._reader.join(timeout=5.0)
+
+    def __enter__(self) -> "TransportConnection":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+class ConnectionPool:
+    """Sticky pool of multiplexed connections, created lazily.
+
+    One pool is typically shared by every client thread in a process
+    (e.g. all swarm tenants): multiplexing means a handful of sockets
+    carry hundreds of logical clients.  Threads are assigned a
+    connection round-robin on first use and then **stick to it** — the
+    codec's dedup ledger is per connection, so a thread that hops
+    between sockets would keep re-shipping columns its previous socket
+    already delivered.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        size: int = 2,
+        codec: str = "binary",
+        timeout_s: float = 30.0,
+    ):
+        if size < 1:
+            raise ValueError("pool size must be at least 1")
+        self.host = host
+        self.port = port
+        self.codec = codec
+        self.timeout_s = timeout_s
+        self._slots: list[TransportConnection | None] = [None] * size
+        self._lock = threading.Lock()
+        self._next = 0
+        self._local = threading.local()
+        self._retries = 0
+        self._retired_refs = 0
+        self._retired_saved = 0
+
+    @property
+    def retries(self) -> int:
+        """Requests replayed on a fresh connection after a drop."""
+        return self._retries
+
+    def _connection_at(self, index: int) -> TransportConnection:
+        with self._lock:
+            connection = self._slots[index]
+            if connection is None or connection.closed:
+                connection = self._slots[index] = TransportConnection(
+                    self.host, self.port, codec=self.codec
+                )
+            return connection
+
+    def _pick(self) -> int:
+        index = getattr(self._local, "index", None)
+        if index is None:
+            with self._lock:
+                index = self._next
+                self._next = (self._next + 1) % len(self._slots)
+            self._local.index = index
+        return index
+
+    def request(self, message: dict[str, Any], timeout_s: float | None = None) -> Any:
+        """Round trip via this thread's connection; one retry on a dropped one."""
+        timeout = self.timeout_s if timeout_s is None else timeout_s
+        index = self._pick()
+        for attempt in range(2):
+            connection = self._connection_at(index)
+            try:
+                return connection.request(message, timeout_s=timeout)
+            except ConnectionLostError:
+                self._retire(index, connection)
+                if attempt == 1:
+                    raise
+                self._retries += 1
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _retire(self, index: int, connection: TransportConnection) -> None:
+        with self._lock:
+            if self._slots[index] is connection:
+                self._slots[index] = None
+            self._retired_refs += connection.dedup_refs_sent
+            self._retired_saved += connection.dedup_bytes_saved
+        connection.close()
+
+    def wire_stats(self) -> dict[str, int]:
+        """Client-side dedup counters, live and retired connections both."""
+        with self._lock:
+            connections = [c for c in self._slots if c is not None]
+            refs, saved = self._retired_refs, self._retired_saved
+        return {
+            "dedup_refs_sent": refs + sum(c.dedup_refs_sent for c in connections),
+            "dedup_bytes_saved": saved + sum(c.dedup_bytes_saved for c in connections),
+            "retries": self._retries,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            connections = [c for c in self._slots if c is not None]
+            self._slots = [None] * len(self._slots)
+            for connection in connections:
+                self._retired_refs += connection.dedup_refs_sent
+                self._retired_saved += connection.dedup_bytes_saved
+        for connection in connections:
+            connection.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+class _SnapshotStubEG(ExperimentGraph):
+    """Client-side stand-in for the server's EG snapshot (binary wire).
+
+    Holds exactly the planned-load artifacts shipped in a plan response,
+    and reports the storage tier the server priced them at.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(SimpleArtifactStore())
+        self._tiers: dict[str, StorageTier] = {}
+
+    def add_load(self, record: dict[str, Any]) -> None:
+        vertex_id = record["vertex_id"]
+        payload = decode_payload(record["payload"])
+        meta = _decode_meta(record["meta"])
+        self.graph.add_node(
+            vertex_id,
+            vertex=EGVertex(
+                vertex_id=vertex_id,
+                artifact_type=meta.artifact_type if meta else ArtifactType.DATASET,
+                compute_time=record["compute_time"],
+                size=record["size"],
+                meta=meta,
+            ),
+        )
+        self.materialize(vertex_id, payload)
+        self._tiers[vertex_id] = StorageTier[record["tier"]]
+
+    def tier_of(self, vertex_id: str) -> StorageTier:
+        return self._tiers.get(vertex_id, StorageTier.HOT)
+
+
+class TransportServiceClient:
+    """Remote EG client over the async multiplexed binary transport.
+
+    Same surface as :class:`~repro.service.tcp.TCPServiceClient`; many
+    instances may share one :class:`ConnectionPool` (pass ``pool=``), in
+    which case closing the client leaves the pool open.
+    """
+
+    def __init__(
+        self,
+        host: str = "",
+        port: int = 0,
+        name: str | None = None,
+        codec: str = "binary",
+        cost_model: WallClockCostModel | VirtualCostModel | None = None,
+        max_workers: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        timeout_s: float = 30.0,
+        pool: ConnectionPool | None = None,
+        pool_size: int = 2,
+        urgent_commits: bool = False,
+    ):
+        if pool is not None:
+            self._pool = pool
+            self._owns_pool = False
+        else:
+            self._pool = ConnectionPool(
+                host, port, size=pool_size, codec=codec, timeout_s=timeout_s
+            )
+            self._owns_pool = True
+        self.cost_model = cost_model if cost_model is not None else WallClockCostModel()
+        self.executor = Executor(cost_model=self.cost_model, max_workers=max_workers)
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.urgent_commits = urgent_commits
+        opened = self.request({"op": "open_session", "name": name})
+        self.session_id: str = opened["session_id"]
+        self.session_name: str = opened["name"]
+
+    # ------------------------------------------------------------------
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """One round trip via the pool; raises the mapped typed error.
+
+        When a span is active on the calling thread, its context rides
+        along as ``tc`` and the server parents its request span to it —
+        so server-side work lands in the same trace as the client
+        workload, exactly like the in-process path.
+        """
+        context = get_tracer().current_context()
+        if context is not None:
+            message = {**message, "tc": [context.trace_id, context.span_id]}
+        return self._pool.request(message)
+
+    def ping(self) -> int:
+        return self.request({"op": "ping"})["version"]
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats", "session_id": self.session_id})["stats"]
+
+    def metrics(self, format: str = "text") -> str | dict[str, Any]:
+        """The service's metrics registry: Prometheus text or JSON snapshot."""
+        response = self.request(
+            {"op": "metrics", "format": format, "session_id": self.session_id}
+        )
+        return response["metrics"] if format == "json" else response["text"]
+
+    # ------------------------------------------------------------------
+    def run_script(
+        self,
+        script: Callable[[Workspace, Mapping[str, Any]], None],
+        sources: Mapping[str, Any],
+        label: str = "",
+    ) -> ExecutionReport:
+        workspace = parse_workload(script, sources, cost_model=self.cost_model)
+        return self.run_workspace(workspace, label=label)
+
+    def run_workspace(self, workspace: Workspace, label: str = "") -> ExecutionReport:
+        workload = workspace.dag
+        prune_workload(workload)
+
+        # same root span as the in-process client, so a traced tcp swarm
+        # profiles identically; request() propagates this span's context
+        # over the wire, so server-side spans join the same trace
+        with get_tracer().span(
+            "client.workload", session=self.session_id, label=label
+        ) as workload_span:
+            planned = self._plan_with_retry(workload)
+            stub = _SnapshotStubEG()
+            plan = ReusePlan(algorithm=planned["algorithm"])
+            plan.estimated_cost = planned["estimated_cost"]
+            for record in planned["loads"]:
+                stub.add_load(record)
+                plan.loads.add(record["vertex_id"])
+
+            report = self.executor.execute(workload, plan=plan, eg=stub)
+            report.optimizer_overhead = planned["planning_seconds"]
+            report.total_time += planned["planning_seconds"]
+
+            committed = self._commit_with_retry(workload, label)
+            workload_span.set_attribute("version", committed["version"])
+        return report
+
+    def _plan_with_retry(self, workload: WorkloadDAG) -> dict[str, Any]:
+        message = {
+            "op": "plan",
+            "session_id": self.session_id,
+            "tenant": self.session_name,
+            "workload": encode_workload(workload, include_payloads=False),
+        }
+        return self._with_backoff(lambda: self.request(message))
+
+    def _commit_with_retry(self, workload: WorkloadDAG, label: str) -> dict[str, Any]:
+        message = {
+            "op": "commit",
+            "session_id": self.session_id,
+            "tenant": self.session_name,
+            "label": label,
+            "urgent": self.urgent_commits,
+            "workload": encode_workload(workload, include_payloads=True),
+        }
+        return self._with_backoff(lambda: self.request(message))
+
+    def _with_backoff(self, call: Callable[[], dict[str, Any]]) -> dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return call()
+            except ServiceOverloadedError:
+                # covers the admission family too (quota and both shed
+                # tiers subclass ServiceOverloadedError)
+                attempt += 1
+                if attempt >= self.retry_policy.max_attempts:
+                    raise
+                time.sleep(self.retry_policy.backoff(attempt))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self.request({"op": "close_session", "session_id": self.session_id})
+        except (ServiceError, OSError):
+            pass
+        if self._owns_pool:
+            self._pool.close()
+
+    def __enter__(self) -> "TransportServiceClient":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()

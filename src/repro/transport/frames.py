@@ -1,0 +1,193 @@
+"""Tagged binary frame layer: the multiplexing unit of the transport.
+
+Every message travels as one frame::
+
+    +--------+------+-------+------------+----------+----------------+
+    | magic  | kind | codec | request_id | body_len | body ...       |
+    | u16    | u8   | u8    | u32        | u32      | body_len bytes |
+    +--------+------+-------+------------+----------+----------------+
+
+All integers are big-endian.  ``request_id`` is the multiplexing tag: a
+client stamps each request with a fresh id and the server echoes it on
+the response, so responses may return **out of order** and many requests
+can be in flight on one connection.  ``kind`` distinguishes requests
+from responses from typed error responses; ``codec`` names the body
+encoding (JSON fallback or the zero-copy binary codec) per frame, so one
+connection can mix codecs.
+
+EOF semantics are strict: a connection may close *between* frames (a
+clean shutdown, surfaced as ``None``), but a close in the middle of a
+frame — header or body — raises
+:class:`~repro.service.errors.TruncatedFrameError`, because bytes were
+lost and any in-flight response is unknown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Sequence
+
+from .errors import FrameTooLargeError, ProtocolError, TruncatedFrameError
+
+__all__ = [
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "HEADER",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "KIND_ERROR",
+    "CODEC_JSON",
+    "CODEC_BINARY",
+    "FrameHeader",
+    "pack_header",
+    "unpack_header",
+    "recv_frame",
+    "send_frame",
+    "read_frame_async",
+]
+
+#: protocol magic ("EG" in a trenchcoat); rejects JSON peers immediately
+MAGIC = 0xE61B
+
+#: refuse frames beyond this size (a corrupt length prefix must not OOM us)
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+HEADER = struct.Struct(">HBBII")
+
+KIND_REQUEST = 1
+KIND_RESPONSE = 2
+KIND_ERROR = 3
+
+CODEC_JSON = 1
+CODEC_BINARY = 2
+
+_KINDS = (KIND_REQUEST, KIND_RESPONSE, KIND_ERROR)
+_CODECS = (CODEC_JSON, CODEC_BINARY)
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Decoded fixed-size frame header."""
+
+    kind: int
+    codec: int
+    request_id: int
+    body_len: int
+
+
+def pack_header(kind: int, codec: int, request_id: int, body_len: int) -> bytes:
+    if body_len > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"frame body of {body_len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return HEADER.pack(MAGIC, kind, codec, request_id, body_len)
+
+
+def unpack_header(raw: bytes) -> FrameHeader:
+    magic, kind, codec, request_id, body_len = HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic 0x{magic:04x} (expected 0x{MAGIC:04x})")
+    if kind not in _KINDS:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    if codec not in _CODECS:
+        raise ProtocolError(f"unknown frame codec {codec}")
+    if body_len > MAX_FRAME_BYTES:
+        raise FrameTooLargeError(
+            f"peer announced a {body_len}-byte frame body; refusing"
+        )
+    return FrameHeader(kind=kind, codec=codec, request_id=request_id, body_len=body_len)
+
+
+# ----------------------------------------------------------------------
+# Blocking socket side (the thread-based client)
+# ----------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a frame boundary.
+
+    EOF after a partial read — or anywhere when ``at_boundary`` is false —
+    raises :class:`TruncatedFrameError` instead of masquerading as a
+    clean close.
+    """
+    if n == 0:
+        return b""
+    chunks: list[bytes] = []
+    received = 0
+    while received < n:
+        chunk = sock.recv(n - received)
+        if not chunk:
+            if at_boundary and received == 0:
+                return None
+            raise TruncatedFrameError(
+                f"connection closed after {received} of {n} frame bytes"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[FrameHeader, memoryview] | None:
+    """One frame off a blocking socket; ``None`` on orderly close."""
+    raw = _recv_exact(sock, HEADER.size, at_boundary=True)
+    if raw is None:
+        return None
+    header = unpack_header(raw)
+    body = _recv_exact(sock, header.body_len, at_boundary=False)
+    assert body is not None  # at_boundary=False never returns None
+    return header, memoryview(body)
+
+
+def send_frame(
+    sock: socket.socket,
+    kind: int,
+    codec: int,
+    request_id: int,
+    body_parts: Sequence[bytes | memoryview],
+) -> int:
+    """Write header + body parts; returns total bytes on the wire.
+
+    ``sendmsg`` takes the part list directly (scatter-gather I/O), so
+    column buffers go from the numpy arrays to the socket without an
+    intermediate join; partial sends fall back to ``sendall`` on the
+    remainder.
+    """
+    body_len = sum(len(part) for part in body_parts)
+    parts: list[bytes | memoryview] = [
+        pack_header(kind, codec, request_id, body_len),
+        *body_parts,
+    ]
+    total = body_len + HEADER.size
+    sent = sock.sendmsg(parts)
+    if sent < total:
+        rest = b"".join(bytes(part) for part in parts)[sent:]
+        sock.sendall(rest)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Asyncio side (the server)
+# ----------------------------------------------------------------------
+async def read_frame_async(
+    reader: asyncio.StreamReader,
+) -> tuple[FrameHeader, memoryview] | None:
+    """One frame off a stream reader; ``None`` on orderly close."""
+    try:
+        raw = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise TruncatedFrameError(
+            f"connection closed after {len(error.partial)} "
+            f"of {HEADER.size} header bytes"
+        ) from error
+    header = unpack_header(raw)
+    try:
+        body = await reader.readexactly(header.body_len)
+    except asyncio.IncompleteReadError as error:
+        raise TruncatedFrameError(
+            f"connection closed after {len(error.partial)} "
+            f"of {header.body_len} body bytes"
+        ) from error
+    return header, memoryview(body)

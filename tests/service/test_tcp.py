@@ -9,8 +9,9 @@ from repro.graph.dag import WorkloadDAG
 from repro.graph.operations import DataOperation
 from repro.materialization.simple import MaterializeAll
 from repro.ml.linear import LogisticRegression
-from repro.service import EGService, UnknownSessionError
+from repro.service import EGService, TruncatedFrameError, UnknownSessionError
 from repro.service.tcp import (
+    _recv_frame,
     ServiceTCPServer,
     TCPServiceClient,
     decode_payload,
@@ -156,3 +157,47 @@ class TestEndToEnd:
                                 ),
                             }
                         )
+
+
+class TestFraming:
+    """EOF semantics: orderly close between frames vs a truncated frame."""
+
+    def test_eof_at_frame_boundary_is_a_clean_close(self):
+        import socket
+
+        ours, theirs = socket.socketpair()
+        try:
+            theirs.close()
+            assert _recv_frame(ours) is None
+        finally:
+            ours.close()
+
+    def test_eof_inside_the_header_raises_truncated_frame(self):
+        import socket
+
+        ours, theirs = socket.socketpair()
+        try:
+            theirs.sendall(b"\x00\x00")  # half a length prefix
+            theirs.close()
+            with pytest.raises(TruncatedFrameError):
+                _recv_frame(ours)
+        finally:
+            ours.close()
+
+    def test_eof_inside_the_body_raises_truncated_frame(self):
+        import socket
+        import struct
+
+        ours, theirs = socket.socketpair()
+        try:
+            theirs.sendall(struct.pack(">I", 50) + b"0123456789")  # 10 of 50
+            theirs.close()
+            with pytest.raises(TruncatedFrameError):
+                _recv_frame(ours)
+        finally:
+            ours.close()
+
+    def test_truncated_frame_is_a_connection_error(self):
+        # callers matching on ConnectionError (and on ServiceError) both
+        # catch it; neither mistakes it for an orderly shutdown
+        assert issubclass(TruncatedFrameError, ConnectionError)

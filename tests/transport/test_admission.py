@@ -1,0 +1,131 @@
+"""Admission control: token buckets, tiered shedding, typed errors."""
+
+import math
+
+import pytest
+
+from repro.service.errors import ServiceOverloadedError
+from repro.transport.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    TokenBucket,
+)
+from repro.transport.errors import (
+    AdmissionError,
+    CommitShedError,
+    PlanShedError,
+    QuotaExceededError,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert all(bucket.try_acquire() for _ in range(3))
+        assert not bucket.try_acquire()
+        clock.advance(1.0)  # refills 2 tokens
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(60.0)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_infinite_rate_never_exhausts(self):
+        bucket = TokenBucket(rate=math.inf, burst=1.0, clock=FakeClock())
+        assert all(bucket.try_acquire() for _ in range(100))
+
+    def test_zero_burst_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmissionController:
+    def test_permissive_defaults_admit_everything(self):
+        controller = AdmissionController()
+        for op in ("ping", "open_session", "plan", "commit", "stats", "metrics"):
+            for _ in range(50):
+                controller.admit(op, "t", inflight=1000)
+        assert controller.shed_counts == {"quota": 0, "plan": 0, "commit": 0}
+
+    def test_tier1_sheds_plan_traffic_first(self):
+        controller = AdmissionController(AdmissionPolicy(shed_plan_inflight=4))
+        controller.admit("plan", "t", inflight=4)  # at the threshold: fine
+        with pytest.raises(PlanShedError):
+            controller.admit("plan", "t", inflight=5)
+        with pytest.raises(PlanShedError):
+            controller.admit("stats", "t", inflight=5)
+        # commits keep flowing at tier 1
+        controller.admit("commit", "t", inflight=5)
+        assert controller.shed_counts["plan"] == 2
+
+    def test_tier2_sheds_non_urgent_commits(self):
+        controller = AdmissionController(
+            AdmissionPolicy(shed_plan_inflight=4, shed_commit_inflight=8)
+        )
+        with pytest.raises(CommitShedError):
+            controller.admit("commit", "t", inflight=9)
+        # the urgent flag rides through tier 2
+        controller.admit("commit", "t", inflight=9, urgent=True)
+        assert controller.shed_counts["commit"] == 1
+
+    def test_commit_shed_on_low_merge_queue_headroom(self):
+        headroom = [1]
+        controller = AdmissionController(
+            AdmissionPolicy(min_commit_headroom=2), headroom=lambda: headroom[0]
+        )
+        with pytest.raises(CommitShedError):
+            controller.admit("commit", "t", inflight=0)
+        headroom[0] = 3
+        controller.admit("commit", "t", inflight=0)
+
+    def test_per_tenant_quota_is_isolated(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            AdmissionPolicy(tenant_rate=0.0, tenant_burst=2.0), clock=clock
+        )
+        controller.admit("plan", "greedy", inflight=0)
+        controller.admit("commit", "greedy", inflight=0)
+        with pytest.raises(QuotaExceededError):
+            controller.admit("plan", "greedy", inflight=0)
+        # a different tenant still has its own bucket
+        controller.admit("plan", "polite", inflight=0)
+        assert controller.shed_counts["quota"] == 1
+
+    def test_housekeeping_ops_never_consume_quota(self):
+        controller = AdmissionController(
+            AdmissionPolicy(tenant_rate=0.0, tenant_burst=1.0), clock=FakeClock()
+        )
+        for _ in range(20):
+            controller.admit("ping", "t", inflight=0)
+            controller.admit("open_session", "t", inflight=0)
+            controller.admit("close_session", "t", inflight=0)
+        controller.admit("plan", "t", inflight=0)  # the single burst token
+        with pytest.raises(QuotaExceededError):
+            controller.admit("commit", "t", inflight=0)
+
+    def test_admission_errors_back_off_like_overload(self):
+        # existing client retry loops match on ServiceOverloadedError
+        for error_type in (QuotaExceededError, PlanShedError, CommitShedError):
+            assert issubclass(error_type, AdmissionError)
+            assert issubclass(error_type, ServiceOverloadedError)
+        assert QuotaExceededError.tier == 0
+        assert PlanShedError.tier == 1
+        assert CommitShedError.tier == 2
