@@ -1,0 +1,217 @@
+"""Adaptive policies vs static defaults on skewed traffic (perf gate).
+
+Not a figure from the paper: this gates the ``repro.learn`` feedback loop.
+Two deterministic simulations — no wall clock, no randomness beyond a
+seeded generator — price the same workload under the static policy and
+under the adaptive one:
+
+* **eviction** — Zipf-head artifact traffic polluted by one-shot scans
+  against a budgeted :class:`TieredArtifactStore`.  Pure LRU lets every
+  scan burst displace the popular heads; the reuse-value scorer keeps
+  them resident.  Each ``get`` is priced with the static
+  :class:`TieredLoadCostModel` at the tier it is served from, so the
+  totals are modeled load seconds, independent of machine speed.
+* **batching** — a discrete-time merge-worker simulation with a known
+  batch cost (``fixed + marginal * batch``) and two deterministic
+  arrival-rate phases.  The static worker lingers a fixed 150ms; the
+  :class:`AdaptiveBatchSizer` learns the fixed overhead and converges to
+  the closed-form linger per phase.  Cost is total workload latency
+  (queue wait + merge), in virtual seconds.
+
+The gate: the adaptive policy must beat the static one by >= 1.3x on
+each simulation (and therefore combined), while serving byte-identical
+content.  All counts are exact-reproducible and held in the baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import report
+
+from repro.learn import AdaptiveBatchSizer, FeedbackCollector, ReuseValueScorer
+from repro.obs.metrics import MetricsRegistry
+from repro.storage import TieredArtifactStore
+from repro.storage.costs import TieredLoadCostModel
+from repro.dataframe import Column, DataFrame
+
+# deliberately NOT scaled(): both simulations are tiny and their counters
+# are vc_exact_, so the trace must be identical at every REPRO_SCALE
+_ROWS = 256
+_SLOT = _ROWS * 8  # one float64 column per artifact
+_HEADS = 6
+_ROUNDS = 40
+_HOT_SLOTS = 16
+
+_MERGE_FIXED = 0.02  # virtual seconds per merge batch
+_MERGE_MARGINAL = 0.001  # virtual seconds per merged workload
+_STATIC_LINGER = 0.15  # the service's default batch_linger_s
+
+
+# ----------------------------------------------------------------------
+# Part A: hot-tier eviction under scan pollution
+# ----------------------------------------------------------------------
+def _frame(column_id: str) -> DataFrame:
+    return DataFrame([Column("x", np.zeros(_ROWS), column_id)])
+
+
+def _eviction_trace(store: TieredArtifactStore) -> tuple[float, int]:
+    """Replay the skewed trace; (modeled load seconds, cold hits)."""
+    pricing = TieredLoadCostModel.default()
+    cost = 0.0
+
+    def priced_get(vertex: str) -> None:
+        nonlocal cost
+        cost += pricing.cost_for_tier(_SLOT, store.tier_of(vertex))
+        store.get(vertex)
+
+    for head in range(_HEADS):
+        store.put(f"head{head}", _frame(f"head-col{head}"))
+    rng = np.random.default_rng(11)
+    scan_id = 0
+    for _ in range(_ROUNDS):
+        for _ in range(4):
+            idx = min(int(rng.zipf(1.6)) - 1, _HEADS - 1)
+            priced_get(f"head{idx}")
+        for _ in range(4):
+            vertex = f"scan{scan_id}"
+            scan_id += 1
+            store.put(vertex, _frame(f"scan-col{vertex}"))
+            priced_get(vertex)
+    return cost, store.stats.cold_hits
+
+
+def run_eviction(tmp_path) -> dict[str, float]:
+    static_store = TieredArtifactStore(
+        hot_budget_bytes=_HOT_SLOTS * _SLOT, directory=tmp_path / "static"
+    )
+    static_cost, static_cold = _eviction_trace(static_store)
+
+    adaptive_store = TieredArtifactStore(
+        hot_budget_bytes=_HOT_SLOTS * _SLOT, directory=tmp_path / "adaptive"
+    )
+    collector = FeedbackCollector(registry=MetricsRegistry())
+    adaptive_store.eviction_scorer = ReuseValueScorer(collector)
+    adaptive_store.load_observer = collector.observe_cold_load
+    adaptive_cost, adaptive_cold = _eviction_trace(adaptive_store)
+
+    # policy only moves bytes between tiers; contents stay identical
+    assert static_store.vertex_ids == adaptive_store.vertex_ids
+    return {
+        "static_cost": static_cost,
+        "adaptive_cost": adaptive_cost,
+        "static_cold": static_cold,
+        "adaptive_cold": adaptive_cold,
+    }
+
+
+# ----------------------------------------------------------------------
+# Part B: merge-batch linger under shifting arrival rates
+# ----------------------------------------------------------------------
+def _arrivals() -> list[float]:
+    """Two deterministic phases: 20 workloads/s, then a 200/s burst."""
+    slow = [index * 0.05 for index in range(400)]
+    fast_start = slow[-1] + 0.05
+    fast = [fast_start + index * 0.005 for index in range(800)]
+    return slow + fast
+
+
+def _simulate_worker(sizer: AdaptiveBatchSizer | None) -> tuple[float, int]:
+    """Drain the arrival stream; (total latency virtual-seconds, batches).
+
+    Latency of a workload is commit-to-publish: linger wait in the queue
+    plus the merge it rides in.  The worker is busy during a merge, so a
+    slow merge backs up the queue exactly like the real service.
+    """
+    arrivals = _arrivals()
+    clock = 0.0
+    index = 0
+    total_latency = 0.0
+    batches = 0
+    while index < len(arrivals):
+        if arrivals[index] > clock:
+            clock = arrivals[index]  # idle until the next commit
+        linger = sizer.current_linger() if sizer is not None else _STATIC_LINGER
+        drain_at = clock + linger
+        batch_end = index
+        while batch_end < len(arrivals) and arrivals[batch_end] <= drain_at:
+            batch_end += 1
+        batch = arrivals[index:batch_end]
+        merge_seconds = _MERGE_FIXED + _MERGE_MARGINAL * len(batch)
+        done_at = drain_at + merge_seconds
+        total_latency += sum(done_at - arrived for arrived in batch)
+        batches += 1
+        if sizer is not None:
+            mean_wait = sum(drain_at - arrived for arrived in batch) / len(batch)
+            sizer.observe_batch(len(batch), merge_seconds, mean_wait)
+        clock = done_at
+        index = batch_end
+    return total_latency, batches
+
+
+def run_batching() -> dict[str, float]:
+    static_latency, static_batches = _simulate_worker(None)
+    collector = FeedbackCollector(registry=MetricsRegistry())
+    sizer = AdaptiveBatchSizer(
+        collector,
+        initial_linger_s=_STATIC_LINGER,  # start where the static policy sits
+        registry=MetricsRegistry(),
+    )
+    adaptive_latency, adaptive_batches = _simulate_worker(sizer)
+    return {
+        "static_latency": static_latency,
+        "adaptive_latency": adaptive_latency,
+        "static_batches": static_batches,
+        "adaptive_batches": adaptive_batches,
+        "final_linger": sizer.current_linger(),
+    }
+
+
+def test_adaptive_policies(benchmark, tmp_path):
+    def run():
+        return run_eviction(tmp_path), run_batching()
+
+    eviction, batching = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    eviction_gain = eviction["static_cost"] / eviction["adaptive_cost"]
+    batching_gain = batching["static_latency"] / batching["adaptive_latency"]
+    combined = (eviction["static_cost"] + batching["static_latency"]) / (
+        eviction["adaptive_cost"] + batching["adaptive_latency"]
+    )
+
+    report(
+        f"Adaptive policies vs static on skewed traffic "
+        f"({_ROUNDS} rounds, {len(_arrivals())} commits)",
+        f"  eviction: static {eviction['static_cost'] * 1e3:.1f}ms "
+        f"({eviction['static_cold']} cold) vs adaptive "
+        f"{eviction['adaptive_cost'] * 1e3:.1f}ms "
+        f"({eviction['adaptive_cold']} cold) -> {eviction_gain:.2f}x",
+        f"  batching: static {batching['static_latency']:.1f}s"
+        f"/{batching['static_batches']} batches vs adaptive "
+        f"{batching['adaptive_latency']:.1f}s/{batching['adaptive_batches']} "
+        f"batches -> {batching_gain:.2f}x "
+        f"(final linger {batching['final_linger'] * 1e3:.1f}ms)",
+        f"  combined load+queue cost advantage: {combined:.2f}x",
+    )
+
+    # the issue's gate: adaptive must win by at least 1.3x on load+queue
+    # cost — asserted per part, which implies it for the combined total
+    assert eviction_gain >= 1.3
+    assert batching_gain >= 1.3
+    assert combined >= 1.3
+
+    benchmark.extra_info["learn_eviction_gain"] = round(eviction_gain, 2)
+    benchmark.extra_info["learn_batching_gain"] = round(batching_gain, 2)
+    benchmark.extra_info["vc_exact_learn_static_cold_hits"] = eviction["static_cold"]
+    benchmark.extra_info["vc_exact_learn_adaptive_cold_hits"] = (
+        eviction["adaptive_cold"]
+    )
+    benchmark.extra_info["vc_exact_learn_static_batches"] = batching["static_batches"]
+    benchmark.extra_info["vc_exact_learn_adaptive_batches"] = (
+        batching["adaptive_batches"]
+    )
+    # modeled virtual costs: deterministic, but gated with tolerance so a
+    # libm difference across platforms cannot trip the exact gate
+    benchmark.extra_info["vc_learn_adaptive_load_cost"] = eviction["adaptive_cost"]
+    benchmark.extra_info["vc_learn_adaptive_queue_cost"] = (
+        batching["adaptive_latency"]
+    )

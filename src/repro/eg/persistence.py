@@ -149,7 +149,15 @@ def _save_store(store: ArtifactStore, store_dir: Path) -> None:
             size = payload_size_bytes(payload)
             cold.write_object(vertex_id, payload, size)
             vertices[vertex_id] = {"kind": "object", "nbytes": size}
-    cold.write_manifest({"vertices": vertices, "hot_budget_bytes": None})
+    # non-tiered stores have no budget, but a store that *does* carry one
+    # (e.g. a tiered subclass routed through this generic path) must keep
+    # its RAM limit across a save/load round-trip
+    cold.write_manifest(
+        {
+            "vertices": vertices,
+            "hot_budget_bytes": getattr(store, "hot_budget_bytes", None),
+        }
+    )
 
 
 def load_eg(directory: str | Path) -> ExperimentGraph:

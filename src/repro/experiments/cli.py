@@ -127,7 +127,7 @@ def _run_fig10(credit, args) -> None:
     _print(f"  cumulative accuracy delta: {result.cumulative_delta_accuracy[-1]:+.3f}")
 
 
-def _run_swarm(_sources, args) -> None:
+def _swarm_once(args, adaptive: bool):
     from ..storage import TieredArtifactStore
     from .swarm import run_swarm
 
@@ -135,26 +135,39 @@ def _run_swarm(_sources, args) -> None:
     if args.shards > 1:
         # sharded services own one store per partition, so the tiered
         # store override does not apply
-        result = run_swarm(
+        return run_swarm(
             clients=args.clients,
             rounds=args.rounds,
             shards=args.shards,
             transport=transport,
             transport_codec=args.transport_codec,
+            adaptive=adaptive,
         )
-    elif transport is not None:
-        result = run_swarm(
+    if transport is not None:
+        return run_swarm(
             clients=args.clients,
             rounds=args.rounds,
             transport=transport,
             transport_codec=args.transport_codec,
+            adaptive=adaptive,
         )
-    else:
-        # a small hot budget forces real demotions/promotions under
-        # concurrency, so traced runs show the tiered store's spans; byte
-        # accounting (store_bytes, fingerprints) is tier-independent
-        store = TieredArtifactStore(hot_budget_bytes=args.hot_budget_bytes)
-        result = run_swarm(clients=args.clients, rounds=args.rounds, store=store)
+    # a small hot budget forces real demotions/promotions under
+    # concurrency, so traced runs show the tiered store's spans; byte
+    # accounting (store_bytes, fingerprints) is tier-independent
+    store = TieredArtifactStore(hot_budget_bytes=args.hot_budget_bytes)
+    return run_swarm(
+        clients=args.clients, rounds=args.rounds, store=store, adaptive=adaptive
+    )
+
+
+def _run_swarm(_sources, args) -> None:
+    adaptive = args.adaptive or args.adaptive_report
+    static_result = None
+    if args.adaptive_report:
+        # an honest hit-rate delta needs the static run under identical
+        # traffic; run it first, then the adaptive run it is compared to
+        static_result = _swarm_once(args, adaptive=False)
+    result = _swarm_once(args, adaptive=adaptive)
     stats = result.stats
     shard_note = f" across {result.shards} shards" if result.shards > 1 else ""
     transport_note = (
@@ -215,6 +228,34 @@ def _run_swarm(_sources, args) -> None:
                 f"{shard.mean_dirty_per_publish:>14.1f} "
                 f"{shard.plan_cache_hit_rate:>10.0%} "
                 f"{shard.queue_depth:>6} {shard.queue_peak:>5}"
+            )
+    if result.adaptive and result.adaptive_report:
+        report = result.adaptive_report
+        _print("  adaptive predictors (error EWMA vs observed):")
+        for name, p in sorted(report["predictors"].items()):
+            learned = int(p["predictions"] - p["fallbacks"])
+            _print(
+                f"    {name:>9}: samples={int(p['samples']):>4} "
+                f"err={p['error_ewma']:.3f} "
+                f"healthy={'yes' if p['healthy'] else 'no':>3} "
+                f"learned={learned}/{int(p['predictions'])} answers"
+            )
+        sizer = report["batch_sizer"]
+        trajectory = sizer["trajectory"]
+        shown = " -> ".join(f"{linger * 1e3:.0f}ms" for _size, linger in trajectory[:8])
+        if len(trajectory) > 8:
+            shown += " ..."
+        _print(
+            f"  batch linger: {sizer['linger_s'] * 1e3:.1f}ms after "
+            f"{sizer['batches_observed']} batches "
+            f"(arrival {sizer['arrival_rate']:.1f}/s; trajectory {shown})"
+        )
+        if static_result is not None and result.hot_hit_ratio is not None:
+            static_ratio = static_result.hot_hit_ratio or 0.0
+            _print(
+                f"  hot-tier hit rate: static {static_ratio:.1%} vs "
+                f"adaptive {result.hot_hit_ratio:.1%} "
+                f"(delta {result.hot_hit_ratio - static_ratio:+.1%})"
             )
     _print(
         f"  final EG: {result.eg_vertices} vertices, {result.eg_edges} edges, "
@@ -289,6 +330,19 @@ def main(argv: list[str] | None = None) -> int:
         choices=("binary", "json"),
         default="binary",
         help="wire codec for --transport tcp (json = legacy fallback)",
+    )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="swarm: enable the learned cost models and adaptive policies",
+    )
+    parser.add_argument(
+        "--adaptive-report",
+        action="store_true",
+        help=(
+            "swarm: run static then adaptive and print predictor error, "
+            "hot-tier hit-rate delta, and the batch-linger trajectory"
+        ),
     )
     parser.add_argument(
         "--hot-budget-bytes",

@@ -211,6 +211,12 @@ class SwarmResult:
     wire_stats: dict[str, float] = field(default_factory=dict, repr=False)
     #: client-side pool counters (dedup refs sent, retries)
     client_wire_stats: dict[str, int] = field(default_factory=dict, repr=False)
+    #: whether the learned adaptive policies (repro.learn) were active
+    adaptive: bool = False
+    #: predictor errors / batch-linger trajectory of an adaptive run
+    adaptive_report: dict[str, Any] = field(default_factory=dict, repr=False)
+    #: hot-tier hit ratio of the run's store (None without a tiered store)
+    hot_hit_ratio: float | None = None
 
     @property
     def fingerprint_match(self) -> bool | None:
@@ -262,6 +268,47 @@ def _teardown_transport(server: Any, pool: Any) -> tuple[dict, dict]:
     return stats, client_stats
 
 
+def _wire_adaptive(adaptive_config: Any):
+    """Build the learn-subsystem pieces a swarm run installs when adaptive.
+
+    Returns ``(collector, batch_sizer, learned_cost_model)``; the caller
+    wires them into the service/store it constructs.  The replay check is
+    unaffected by design: learned policies change *costs* and tier
+    *placement*, never what a merged batch publishes.
+    """
+    from ..learn import (
+        AdaptiveBatchSizer,
+        AdaptiveConfig,
+        FeedbackCollector,
+        LearnedLoadCostModel,
+    )
+
+    config = adaptive_config if adaptive_config is not None else AdaptiveConfig()
+    collector = FeedbackCollector(config)
+    batch_sizer = AdaptiveBatchSizer(collector)
+    return collector, batch_sizer, LearnedLoadCostModel(collector)
+
+
+def _install_store_hooks(store: ArtifactStore | None, collector: Any) -> None:
+    """Point a tiered store's adaptive hooks at the run's collector."""
+    from ..storage import TieredArtifactStore
+
+    if isinstance(store, TieredArtifactStore):
+        from ..learn import ReuseValueScorer
+
+        store.eviction_scorer = ReuseValueScorer(collector)
+        store.eviction_scan = collector.config.eviction_scan
+        store.load_observer = collector.observe_cold_load
+
+
+def _adaptive_report(collector: Any, batch_sizer: Any) -> dict[str, Any]:
+    return {
+        "predictors": collector.report(),
+        "batch_sizer": batch_sizer.report(),
+        "cold_hit_rate": collector.cold_hit_rate,
+    }
+
+
 def run_swarm(
     clients: int = 8,
     rounds: int = 3,
@@ -274,6 +321,8 @@ def run_swarm(
     shards: int = 1,
     transport: str | None = None,
     transport_codec: str = "binary",
+    adaptive: bool = False,
+    adaptive_config: Any | None = None,
 ) -> SwarmResult:
     """Run the swarm and (optionally) verify against a sequential replay.
 
@@ -290,6 +339,14 @@ def run_swarm(
     family — one lineage group per shard with periodic cross-group joins;
     the fingerprint check then compares the *flattened* partitioned EG
     against the sequential single-graph replay.
+
+    ``adaptive=True`` installs the learned policies (:mod:`repro.learn`):
+    a :class:`~repro.learn.FeedbackCollector` fed by the store's cold
+    loads and the merge worker, a learned load-cost model for planning,
+    an adaptive eviction scorer on a tiered ``store``, and an adaptive
+    merge-batch sizer replacing the fixed ``batch_linger_s``.  The
+    fingerprint check still must pass — adaptive runs change costs and
+    tier placement, never EG content.
 
     ``transport="tcp"`` routes every tenant through the async multiplexed
     binary transport (:mod:`repro.transport`) instead of in-process
@@ -321,16 +378,28 @@ def run_swarm(
             shards=shards,
             transport=transport,
             transport_codec=transport_codec,
+            adaptive=adaptive,
+            adaptive_config=adaptive_config,
         )
+    collector = batch_sizer = learned_model = None
+    if adaptive:
+        collector, batch_sizer, learned_model = _wire_adaptive(adaptive_config)
+        _install_store_hooks(store, collector)
     service = EGService(
         MaterializeAll(),
         store=store,
+        load_cost_model=learned_model,
         queue_capacity=queue_capacity,
         batch_linger_s=batch_linger_s,
         request_timeout_s=60.0,
         background=True,
         debug_cross_check=debug_cross_check,
+        batch_sizer=batch_sizer,
     )
+    if collector is not None:
+        collector.queue_depth_fn = (
+            lambda: service.queue_capacity - service.queue_headroom()
+        )
     server = pool = None
     if transport == "tcp":
         server, pool = _start_transport(service, clients, transport_codec)
@@ -395,6 +464,13 @@ def run_swarm(
         transport_codec=transport_codec if server is not None else "",
         wire_stats=wire_stats,
         client_wire_stats=client_wire_stats,
+        adaptive=adaptive,
+        adaptive_report=(
+            _adaptive_report(collector, batch_sizer) if collector is not None else {}
+        ),
+        hot_hit_ratio=(
+            store.stats.hit_ratio if hasattr(store, "stats") else None
+        ),
     )
 
     if replay:
@@ -431,17 +507,36 @@ def _run_swarm_sharded(
     shards: int,
     transport: str | None = None,
     transport_codec: str = "binary",
+    adaptive: bool = False,
+    adaptive_config: Any | None = None,
 ) -> SwarmResult:
     from ..shard import ShardedEGService
+
+    collector = batch_sizer = learned_model = None
+    sizer_factory = None
+    if adaptive:
+        # one collector (thread-safe) shared by every shard's cost
+        # queries; one batch sizer per shard — see ShardedEGService
+        collector, batch_sizer, learned_model = _wire_adaptive(adaptive_config)
+        from ..learn import AdaptiveBatchSizer
+
+        shard_sizers = [batch_sizer] + [
+            AdaptiveBatchSizer(collector) for _ in range(shards - 1)
+        ]
+
+        def sizer_factory(index: int):
+            return shard_sizers[index]
 
     service = ShardedEGService(
         lambda _index: MaterializeAll(),
         shards,
+        load_cost_model=learned_model,
         queue_capacity=queue_capacity,
         batch_linger_s=batch_linger_s,
         request_timeout_s=60.0,
         background=True,
         debug_cross_check=debug_cross_check,
+        batch_sizer_factory=sizer_factory,
     )
     server = pool = None
     if transport == "tcp":
@@ -514,6 +609,10 @@ def _run_swarm_sharded(
         transport_codec=transport_codec if server is not None else "",
         wire_stats=wire_stats,
         client_wire_stats=client_wire_stats,
+        adaptive=adaptive,
+        adaptive_report=(
+            _adaptive_report(collector, batch_sizer) if collector is not None else {}
+        ),
     )
     if replay:
         result.replay_fingerprint = eg_fingerprint(

@@ -1,0 +1,254 @@
+"""Adapters plugging the learned predictors into static-cost seams.
+
+Three places in the codebase price decisions with hardwired numbers; each
+gets one adapter, and every adapter degrades to the exact static
+behaviour whenever its predictor is cold or unhealthy:
+
+:class:`LearnedLoadCostModel`
+    drop-in for :class:`~repro.storage.costs.TieredLoadCostModel` — the
+    planners keep calling ``cost_for_tier(size_bytes, tier)`` and get the
+    observed per-tier latency model when it is trustworthy, the wrapped
+    static model otherwise.
+:class:`ReuseValueScorer`
+    eviction policy for ``TieredArtifactStore._enforce_hot_budget`` —
+    instead of demoting the pure-LRU head, the store ranks a bounded
+    window of LRU candidates by *predicted-reuse-value-per-byte* (what
+    re-reading the artifact from disk would cost, times how likely it is
+    to be re-read, per byte of RAM it pins) and demotes the cheapest.
+:class:`AdaptiveBatchSizer`
+    merge-linger controller for the ``EGService`` worker — learns the
+    fixed publish overhead from observed merge batches, estimates the
+    commit arrival rate, and sets the linger to the closed-form optimum
+    trading queue wait against per-batch overhead.
+
+Only *costs* and *placement* change; none of these adapters alters what
+a merge publishes or what a replayed workload computes, so EG
+convergence stays bit-identical with and without them (the swarm test
+suite asserts exactly that).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..eg.storage import StorageTier
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..storage.costs import TieredLoadCostModel
+from ..storage.tiers import EvictionCandidate
+from .collector import AdaptiveConfig, FeedbackCollector
+
+__all__ = ["LearnedLoadCostModel", "ReuseValueScorer", "AdaptiveBatchSizer"]
+
+
+class LearnedLoadCostModel(TieredLoadCostModel):
+    """A :class:`TieredLoadCostModel` whose costs come from observation.
+
+    Subclasses the static model (the planners and the sharded service
+    type-check against ``TieredLoadCostModel``) and keeps the wrapped
+    static model's parameters as its own dataclass fields, so anything
+    reading ``bandwidth_bytes_per_s``/``latency_s``/``cold`` directly
+    sees the static values.  Only :meth:`cost_for_tier` is learned — and
+    only while the tier's predictor reports healthy.
+    """
+
+    # plain attributes riding alongside the frozen dataclass fields
+    collector: FeedbackCollector
+    static: TieredLoadCostModel
+
+    def __init__(
+        self,
+        collector: FeedbackCollector,
+        static: TieredLoadCostModel | None = None,
+    ):
+        if static is None:
+            static = TieredLoadCostModel.default()
+        TieredLoadCostModel.__init__(
+            self,
+            bandwidth_bytes_per_s=static.bandwidth_bytes_per_s,
+            latency_s=static.latency_s,
+            cold=static.cold,
+        )
+        # the dataclass is frozen; adapter state rides alongside the fields
+        object.__setattr__(self, "collector", collector)
+        object.__setattr__(self, "static", static)
+
+    def cost_for_tier(self, size_bytes: int, tier: StorageTier) -> float:
+        predicted = self.collector.predict_load(size_bytes, tier)
+        if predicted is None:
+            return self.static.cost_for_tier(size_bytes, tier)
+        return predicted
+
+
+class ReuseValueScorer:
+    """Predicted-reuse-value-per-byte eviction scoring for the hot tier.
+
+    Called by the store (under its lock) for each candidate in the LRU
+    window when the hot budget is exceeded; the store demotes the
+    *lowest* score.  The score is::
+
+        reload_cost(size) * access_count * 0.5 ** (age / halflife) / size
+
+    — seconds of future disk reads avoided per byte of RAM retained,
+    with the reuse expectation taken from the vertex's observed hot-hit
+    frequency decayed by how long (in store accesses) it has sat
+    untouched.  A never-re-read artifact scores 0 and is evicted first
+    (scan pollution never displaces the working set); ties fall back to
+    LRU order.  The reload cost itself comes from the learned cold model
+    when healthy, from the static model otherwise.
+    """
+
+    def __init__(
+        self,
+        collector: FeedbackCollector,
+        static: TieredLoadCostModel | None = None,
+        recency_halflife: float | None = None,
+    ):
+        if recency_halflife is None:
+            recency_halflife = collector.config.recency_halflife
+        if recency_halflife <= 0.0:
+            raise ValueError("recency_halflife must be positive")
+        self.collector = collector
+        self.static = static if static is not None else TieredLoadCostModel.default()
+        self.recency_halflife = recency_halflife
+
+    def __call__(self, candidate: EvictionCandidate) -> float:
+        cost = self.collector.predict_load(
+            candidate.size_bytes, StorageTier.COLD, n_columns=candidate.n_columns
+        )
+        if cost is None:
+            cost = self.static.cost_for_tier(candidate.size_bytes, StorageTier.COLD)
+        frequency = candidate.access_count * math.pow(
+            0.5, candidate.age / self.recency_halflife
+        )
+        return cost * frequency / max(candidate.size_bytes, 1)
+
+
+class AdaptiveBatchSizer:
+    """Closed-loop merge-linger control for the ``EGService`` worker.
+
+    With commit arrival rate ``lam`` and linger ``l`` the worker merges
+    batches of about ``lam * l`` workloads; each workload then pays
+    ``fixed / (lam * l)`` of the fixed publish overhead plus an expected
+    ``l / 2`` of linger wait.  The sum is minimized at::
+
+        l* = sqrt(2 * fixed / lam)
+
+    ``fixed`` is the bias weight of the collector's merge model (learned
+    from observed ``batch_size -> merge_seconds`` samples); ``lam`` is an
+    EWMA of workloads-per-second over recent drain cycles.  Until the
+    merge model is healthy a bang-bang heuristic bootstraps: shrink the
+    linger when queue wait dwarfs merge cost, grow it while batches stay
+    singletons.  The linger is smoothed and clamped to
+    ``[min_linger_s, max_linger_s]`` so one outlier batch cannot swing
+    the worker into pathological waits.
+
+    The sizer only shapes *when* the worker drains — batch contents and
+    merge semantics are untouched, so convergence stays bit-identical.
+    """
+
+    #: bounded (batch_size, linger_s) history for the --adaptive-report
+    TRAJECTORY_LIMIT = 256
+
+    def __init__(
+        self,
+        collector: FeedbackCollector,
+        config: AdaptiveConfig | None = None,
+        initial_linger_s: float = 0.02,
+        smoothing: float = 0.7,
+        registry: MetricsRegistry | None = None,
+    ):
+        if config is None:
+            config = collector.config
+        if not config.min_linger_s <= initial_linger_s <= config.max_linger_s:
+            raise ValueError("initial linger must lie within the configured bounds")
+        if not 0.0 <= smoothing < 1.0:
+            raise ValueError("smoothing must be in [0, 1)")
+        self.collector = collector
+        self.min_linger_s = config.min_linger_s
+        self.max_linger_s = config.max_linger_s
+        self.smoothing = smoothing
+        self._linger = initial_linger_s
+        self._arrival_rate = 0.0
+        self._observed = 0
+        self.trajectory: list[tuple[int, float]] = []
+        registry = registry if registry is not None else get_registry()
+        self._linger_gauge = registry.gauge(
+            "repro_learn_batch_linger_seconds",
+            "adaptive merge-batch linger currently in effect",
+        )
+        self._adjust_counter = registry.counter(
+            "repro_learn_batch_adjustments_total",
+            "merge-linger updates, by controller mode",
+            labelnames=("mode",),
+        )
+
+    def current_linger(self) -> float:
+        """The linger the merge worker should sleep before draining."""
+        return self._linger
+
+    @property
+    def arrival_rate(self) -> float:
+        """EWMA of observed commit arrivals per second."""
+        return self._arrival_rate
+
+    def observe_batch(
+        self, batch_size: int, merge_seconds: float, mean_wait_s: float
+    ) -> None:
+        """Fold one drained batch into the controller (merge worker only).
+
+        Single-threaded by construction — exactly one merge worker calls
+        this, between drains — so no lock is needed here; the collector
+        update inside is locked on its own.
+        """
+        if batch_size < 1:
+            return
+        self.collector.observe_merge(batch_size, merge_seconds)
+
+        cycle_s = max(self._linger + merge_seconds, 1e-6)
+        rate = batch_size / cycle_s
+        if self._observed == 0:
+            self._arrival_rate = rate
+        else:
+            self._arrival_rate = (
+                self.smoothing * self._arrival_rate + (1.0 - self.smoothing) * rate
+            )
+        self._observed += 1
+
+        params = self.collector.merge_cost_params()
+        if params is not None:
+            fixed, _marginal = params
+            target = math.sqrt(2.0 * fixed / max(self._arrival_rate, 1e-6))
+            mode = "learned"
+        elif mean_wait_s > 2.0 * merge_seconds and batch_size > 1:
+            # paying more in queue wait than the batching saves: back off
+            target = self._linger * 0.5
+            mode = "heuristic"
+        elif batch_size <= 1:
+            # batches are not coalescing at all: linger longer
+            target = self._linger * 1.5
+            mode = "heuristic"
+        else:
+            target = self._linger
+            mode = "hold"
+
+        self._linger = min(
+            self.max_linger_s,
+            max(
+                self.min_linger_s,
+                self.smoothing * self._linger + (1.0 - self.smoothing) * target,
+            ),
+        )
+        if len(self.trajectory) < self.TRAJECTORY_LIMIT:
+            self.trajectory.append((batch_size, self._linger))
+        self._linger_gauge.set(self._linger)
+        self._adjust_counter.inc(mode=mode)
+
+    def report(self) -> dict[str, Any]:
+        """Summary for the swarm's --adaptive-report."""
+        return {
+            "linger_s": self._linger,
+            "arrival_rate": self._arrival_rate,
+            "batches_observed": self._observed,
+            "trajectory": list(self.trajectory),
+        }

@@ -1,0 +1,162 @@
+"""Online regressors: recursive least squares with health tracking.
+
+The learned cost models (docs/ADAPTIVE.md) fit tiny linear models over
+hand-built features — bytes, column count, tier, recent contention — and
+must do so *online*: one ``update`` per observed sample, O(d^2) in the
+feature count, no stored sample matrix, no retraining pass.  Recursive
+least squares (RLS) with a forgetting factor is the classic fit: it is
+exactly the closed-form ridge solution over exponentially-downweighted
+history, deterministic (no random initialization, no learning-rate
+schedule to tune), and adapts to drifting workloads because old samples
+decay at ``forgetting`` per step.
+
+:class:`OnlinePredictor` wraps the raw regressor with the safety
+semantics every adaptive policy in this codebase relies on:
+
+* **warmup** — predictions are withheld (``predict`` returns ``None``)
+  until ``min_samples`` observations arrived, so a cold predictor can
+  never outvote the static model it is meant to refine;
+* **health** — every update first *predicts* the incoming sample and
+  folds the relative error into an EWMA; when the EWMA exceeds
+  ``error_threshold`` the predictor reports unhealthy and callers fall
+  back to the static model until the error decays back under the
+  threshold (distribution shift is survived, not obeyed);
+* **error surface** — the EWMA and sample/fallback counts are exposed so
+  the collector can publish them as ``repro_learn_*`` metrics.
+
+Everything here is deterministic: identical sample sequences produce
+bit-identical weights and predictions on any machine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RecursiveLeastSquares", "OnlinePredictor"]
+
+
+class RecursiveLeastSquares:
+    """Exponentially-forgetting recursive least squares over d features.
+
+    Maintains the weight vector ``w`` and inverse covariance ``P`` of the
+    ridge problem ``min_w sum_i forgetting^(n-i) (y_i - w.x_i)^2``; each
+    :meth:`update` is one Sherman–Morrison step, O(d^2).  ``ridge``
+    initializes ``P = ridge * I`` (a large value means weak priors —
+    early samples move the weights quickly).
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        forgetting: float = 0.995,
+        ridge: float = 1e4,
+    ):
+        if n_features < 1:
+            raise ValueError("need at least one feature")
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError("forgetting factor must be in (0, 1]")
+        self.n_features = n_features
+        self.forgetting = forgetting
+        self.weights = np.zeros(n_features, dtype=np.float64)
+        self._P = np.eye(n_features, dtype=np.float64) * float(ridge)
+
+    def predict(self, features: Sequence[float]) -> float:
+        x = np.asarray(features, dtype=np.float64)
+        return float(self.weights @ x)
+
+    def update(self, features: Sequence[float], target: float) -> float:
+        """Fold one (features, target) sample in; returns the *a-priori*
+        prediction (what the model said before seeing the target)."""
+        x = np.asarray(features, dtype=np.float64)
+        predicted = float(self.weights @ x)
+        Px = self._P @ x
+        gain = Px / (self.forgetting + float(x @ Px))
+        self.weights = self.weights + gain * (float(target) - predicted)
+        self._P = (self._P - np.outer(gain, Px)) / self.forgetting
+        return predicted
+
+
+class OnlinePredictor:
+    """An RLS model plus warmup, health, and error accounting.
+
+    ``predict`` returns ``None`` whenever the model should not be
+    trusted — before warmup or while the error EWMA sits above the
+    threshold — so callers can fall back to a static model with one
+    ``is None`` check.  Not thread-safe on its own; the collector
+    serializes access under its lock.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        min_samples: int = 16,
+        error_threshold: float = 0.5,
+        error_decay: float = 0.9,
+        forgetting: float = 0.995,
+        ridge: float = 1e4,
+    ):
+        if min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        if error_threshold <= 0.0:
+            raise ValueError("error_threshold must be positive")
+        if not 0.0 < error_decay < 1.0:
+            raise ValueError("error_decay must be in (0, 1)")
+        self.model = RecursiveLeastSquares(
+            n_features, forgetting=forgetting, ridge=ridge
+        )
+        self.min_samples = min_samples
+        self.error_threshold = error_threshold
+        self.error_decay = error_decay
+        self.samples = 0
+        #: EWMA of the relative a-priori error |pred - y| / max(|y|, floor)
+        self.error_ewma = 0.0
+        #: predictions declined because of warmup or bad health
+        self.fallbacks = 0
+        self.predictions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def warmed_up(self) -> bool:
+        return self.samples >= self.min_samples
+
+    @property
+    def healthy(self) -> bool:
+        """Trustworthy: warmed up and tracking observations closely."""
+        return self.warmed_up and self.error_ewma <= self.error_threshold
+
+    def observe(self, features: Sequence[float], target: float) -> float:
+        """Ingest one labeled sample; returns the a-priori relative error.
+
+        The error EWMA only starts counting once the model had a warmup's
+        worth of samples to fit — charging the first few wild guesses
+        would keep a perfectly learnable model unhealthy forever.
+        """
+        predicted = self.model.update(features, target)
+        if self.samples >= self.min_samples:
+            relative = abs(predicted - target) / max(abs(target), 1e-9)
+            relative = min(relative, 10.0)  # one absurd outlier must not saturate
+            self.error_ewma = (
+                self.error_decay * self.error_ewma
+                + (1.0 - self.error_decay) * relative
+            )
+        else:
+            relative = 0.0
+        self.samples += 1
+        return relative
+
+    def predict(self, features: Sequence[float]) -> float | None:
+        """The model's estimate, or ``None`` when the caller should fall
+        back to its static model (warmup, bad health, or a non-finite or
+        negative extrapolation — costs are never negative)."""
+        self.predictions += 1
+        if not self.healthy:
+            self.fallbacks += 1
+            return None
+        value = self.model.predict(features)
+        if not math.isfinite(value) or value < 0.0:
+            self.fallbacks += 1
+            return None
+        return value

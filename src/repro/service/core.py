@@ -227,6 +227,7 @@ class EGService:
         metrics_registry: MetricsRegistry | None = None,
         plan_cache_size: int = 128,
         debug_cross_check: bool = False,
+        batch_sizer: Any | None = None,
     ):
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be at least 1")
@@ -254,6 +255,10 @@ class EGService:
         self.updater = Updater(self.versioned.working, materializer)
         self.queue_capacity = queue_capacity
         self.batch_linger_s = batch_linger_s
+        #: optional adaptive merge-linger controller
+        #: (:class:`~repro.learn.adapters.AdaptiveBatchSizer`); when set it
+        #: overrides ``batch_linger_s`` and is fed every drained batch
+        self.batch_sizer = batch_sizer
         self.request_timeout_s = request_timeout_s
 
         self._queue: deque[UpdateTicket] = deque()
@@ -555,9 +560,14 @@ class EGService:
                 if not self._queue and self._stop_requested:
                     return
                 draining = self._stop_requested
-            if self.batch_linger_s > 0.0 and not draining:
+            linger = (
+                self.batch_sizer.current_linger()
+                if self.batch_sizer is not None
+                else self.batch_linger_s
+            )
+            if linger > 0.0 and not draining:
                 # let near-simultaneous commits coalesce into one batch
-                time.sleep(self.batch_linger_s)
+                time.sleep(linger)
             try:
                 with self._merge_lock:
                     self._drain_once()
@@ -589,10 +599,12 @@ class EGService:
         # span context so the service-side merge correlates by trace id with
         # the client workload; never entered (this thread keeps no stack)
         commit_spans = []
+        wait_total = 0.0
         for ticket in batch:
             wait_s = (
                 max(0.0, started - ticket.enqueued_at) if ticket.enqueued_at else 0.0
             )
+            wait_total += wait_s
             self._metrics.record_queue_wait(wait_s)
             span = tracer.span(
                 "service.commit",
@@ -659,6 +671,10 @@ class EGService:
             )
         if report.merged_workloads:
             self._metrics.record_batch(report.merged_workloads, merge_seconds)
+            if self.batch_sizer is not None:
+                self.batch_sizer.observe_batch(
+                    report.merged_workloads, merge_seconds, wait_total / len(batch)
+                )
         return len(batch)
 
     # ------------------------------------------------------------------

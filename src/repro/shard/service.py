@@ -290,6 +290,7 @@ class ShardedEGService:
         metrics_registry: MetricsRegistry | None = None,
         plan_cache_size: int = 128,
         debug_cross_check: bool = False,
+        batch_sizer_factory: Callable[[int], Any] | None = None,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be at least 1")
@@ -327,6 +328,13 @@ class ShardedEGService:
                 background=background,
                 plan_cache_size=plan_cache_size,
                 debug_cross_check=debug_cross_check,
+                # one sizer per shard: each merge worker drives its own
+                # linger controller (the sizer is single-writer by design)
+                batch_sizer=(
+                    batch_sizer_factory(index)
+                    if batch_sizer_factory is not None
+                    else None
+                ),
             )
             for index in range(n_shards)
         ]

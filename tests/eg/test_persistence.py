@@ -249,3 +249,34 @@ class TestPersistence:
         save_eg(eg, tmp_path)
         restored = load_eg(tmp_path)
         assert restored.vertex(vertex.vertex_id).quality == 0.77
+
+
+class TestHotBudgetRoundTrip:
+    """The hot-tier RAM budget must survive a save/load cycle.
+
+    Regression guard: the generic ``_save_store`` branch used to hardcode
+    ``"hot_budget_bytes": None`` in the manifest, silently discarding the
+    budget of any budget-carrying store routed through it.
+    """
+
+    def test_tiered_budget_survives_roundtrip(self, tmp_path):
+        eg = populated_eg(store=TieredArtifactStore(hot_budget_bytes=5000))
+        save_eg(eg, tmp_path)
+        restored = load_eg(tmp_path)
+        assert restored.store.hot_budget_bytes == 5000
+
+    def test_generic_branch_records_store_budget(self, tmp_path):
+        store = DedupArtifactStore()
+        # any store that happens to carry a budget attribute must have it
+        # recorded, not clobbered with null
+        store.hot_budget_bytes = 4096
+        eg = populated_eg(store=store)
+        save_eg(eg, tmp_path)
+        manifest = json.loads((tmp_path / "store" / "manifest.json").read_text())
+        assert manifest["hot_budget_bytes"] == 4096
+
+    def test_generic_branch_defaults_to_null_budget(self, tmp_path):
+        eg = populated_eg(store=DedupArtifactStore())
+        save_eg(eg, tmp_path)
+        manifest = json.loads((tmp_path / "store" / "manifest.json").read_text())
+        assert manifest["hot_budget_bytes"] is None

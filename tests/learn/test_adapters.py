@@ -1,0 +1,186 @@
+"""Adapter behaviour: fallback safety, eviction scoring, linger control."""
+
+import pytest
+
+from repro.eg.storage import StorageTier
+from repro.learn import (
+    AdaptiveBatchSizer,
+    AdaptiveConfig,
+    FeedbackCollector,
+    LearnedLoadCostModel,
+    LoadObservation,
+    ReuseValueScorer,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.costs import TieredLoadCostModel
+from repro.storage.tiers import EvictionCandidate
+
+_SECS_PER_MIB = 0.010
+_LATENCY = 0.002
+
+
+def _train_cold(collector: FeedbackCollector, n: int = 40) -> None:
+    for i in range(n):
+        size = (i % 8 + 1) * (1 << 18)
+        collector.observe_load(
+            LoadObservation(
+                vertex_id=f"v{i}",
+                size_bytes=size,
+                n_columns=4,
+                object_columns=0,
+                tier=StorageTier.COLD,
+                seconds=_LATENCY + (size / float(1 << 20)) * _SECS_PER_MIB,
+            )
+        )
+
+
+class TestLearnedLoadCostModel:
+    def setup_method(self):
+        self.collector = FeedbackCollector(registry=MetricsRegistry())
+        self.static = TieredLoadCostModel.default()
+        self.model = LearnedLoadCostModel(self.collector, self.static)
+
+    def test_is_a_tiered_load_cost_model(self):
+        # the sharded service and planners type-check against the static
+        # class; the learned wrapper must pass as one
+        assert isinstance(self.model, TieredLoadCostModel)
+        assert self.model.bandwidth_bytes_per_s == self.static.bandwidth_bytes_per_s
+
+    def test_static_fallback_before_warmup(self):
+        size = 4 << 20
+        for tier in (StorageTier.HOT, StorageTier.COLD):
+            assert self.model.cost_for_tier(size, tier) == (
+                self.static.cost_for_tier(size, tier)
+            )
+
+    def test_learned_cost_once_healthy(self):
+        _train_cold(self.collector)
+        learned = self.model.cost_for_tier(2 << 20, StorageTier.COLD)
+        assert learned == pytest.approx(_LATENCY + 2 * _SECS_PER_MIB, rel=0.05)
+        assert learned != self.static.cost_for_tier(2 << 20, StorageTier.COLD)
+        # the hot model saw nothing: still static
+        assert self.model.cost_for_tier(2 << 20, StorageTier.HOT) == (
+            self.static.cost_for_tier(2 << 20, StorageTier.HOT)
+        )
+
+
+class TestReuseValueScorer:
+    def setup_method(self):
+        self.collector = FeedbackCollector(registry=MetricsRegistry())
+        self.scorer = ReuseValueScorer(self.collector)
+
+    def _candidate(self, access_count: int, age: int, size: int = 2048):
+        return EvictionCandidate(
+            vertex_id="v",
+            size_bytes=size,
+            n_columns=1,
+            access_count=access_count,
+            age=age,
+        )
+
+    def test_never_accessed_scores_zero(self):
+        assert self.scorer(self._candidate(access_count=0, age=0)) == 0.0
+
+    def test_hotter_artifact_scores_higher(self):
+        cold = self.scorer(self._candidate(access_count=1, age=0))
+        hot = self.scorer(self._candidate(access_count=10, age=0))
+        assert hot > cold > 0.0
+
+    def test_recency_decay_halves_per_halflife(self):
+        half = self.collector.config.recency_halflife
+        fresh = self.scorer(self._candidate(access_count=4, age=0))
+        stale = self.scorer(self._candidate(access_count=4, age=int(half)))
+        assert stale == pytest.approx(fresh / 2.0)
+
+    def test_stale_count_loses_to_live_recency(self):
+        # a dead twice-read artifact must drop below a live once-read one
+        halflife = self.collector.config.recency_halflife
+        dead = self.scorer(self._candidate(access_count=2, age=int(3 * halflife)))
+        live = self.scorer(self._candidate(access_count=1, age=0))
+        assert dead < live
+
+    def test_larger_artifact_pays_per_byte(self):
+        small = self.scorer(self._candidate(access_count=4, age=0, size=2048))
+        # 4x the size but the same reuse: reload cost grows sub-linearly
+        # at these sizes (latency-dominated), so value-per-byte drops
+        large = self.scorer(self._candidate(access_count=4, age=0, size=8192))
+        assert large < small
+
+    def test_rejects_non_positive_halflife(self):
+        with pytest.raises(ValueError):
+            ReuseValueScorer(self.collector, recency_halflife=0.0)
+
+
+class TestAdaptiveBatchSizer:
+    def setup_method(self):
+        self.collector = FeedbackCollector(registry=MetricsRegistry())
+
+    def _sizer(self, **kwargs) -> AdaptiveBatchSizer:
+        kwargs.setdefault("registry", MetricsRegistry())
+        return AdaptiveBatchSizer(self.collector, **kwargs)
+
+    def test_heuristic_backs_off_when_wait_dominates(self):
+        sizer = self._sizer(initial_linger_s=0.1)
+        before = sizer.current_linger()
+        sizer.observe_batch(batch_size=8, merge_seconds=0.001, mean_wait_s=0.05)
+        assert sizer.current_linger() < before
+
+    def test_heuristic_grows_when_batches_stay_singletons(self):
+        sizer = self._sizer(initial_linger_s=0.01)
+        before = sizer.current_linger()
+        sizer.observe_batch(batch_size=1, merge_seconds=0.002, mean_wait_s=0.001)
+        assert sizer.current_linger() > before
+
+    def test_converges_to_closed_form_optimum(self):
+        # train on a known cost model: merge = fixed + marginal * batch.
+        # once the merge model is healthy the linger must settle around
+        # l* = sqrt(2 * fixed / lam)
+        fixed, marginal = 0.02, 0.001
+        sizer = self._sizer(initial_linger_s=0.02, smoothing=0.5)
+        for _ in range(200):
+            linger = sizer.current_linger()
+            # deterministic arrivals at 100 workloads/s
+            batch = max(1, round(100.0 * (linger + fixed)))
+            sizer.observe_batch(
+                batch_size=batch,
+                merge_seconds=fixed + marginal * batch,
+                mean_wait_s=linger / 2.0,
+            )
+        lam = sizer.arrival_rate
+        expected = (2.0 * fixed / lam) ** 0.5
+        assert sizer.current_linger() == pytest.approx(expected, rel=0.15)
+
+    def test_linger_clamped_to_configured_bounds(self):
+        # min_samples keeps the merge model cold so the bang-bang
+        # heuristic (not the closed form) drives the linger to each bound
+        config = AdaptiveConfig(
+            min_samples=10_000, min_linger_s=0.01, max_linger_s=0.05
+        )
+        collector = FeedbackCollector(config=config, registry=MetricsRegistry())
+        sizer = AdaptiveBatchSizer(
+            collector, initial_linger_s=0.02, registry=MetricsRegistry()
+        )
+        for _ in range(50):
+            sizer.observe_batch(batch_size=1, merge_seconds=0.001, mean_wait_s=0.0)
+        assert sizer.current_linger() == config.max_linger_s
+        for _ in range(200):
+            sizer.observe_batch(batch_size=16, merge_seconds=0.001, mean_wait_s=1.0)
+        assert sizer.current_linger() == config.min_linger_s
+
+    def test_trajectory_is_bounded(self):
+        sizer = self._sizer()
+        for _ in range(AdaptiveBatchSizer.TRAJECTORY_LIMIT + 50):
+            sizer.observe_batch(batch_size=2, merge_seconds=0.001, mean_wait_s=0.001)
+        assert len(sizer.trajectory) == AdaptiveBatchSizer.TRAJECTORY_LIMIT
+        assert sizer.report()["batches_observed"] == (
+            AdaptiveBatchSizer.TRAJECTORY_LIMIT + 50
+        )
+
+    def test_rejects_out_of_bounds_initial_linger(self):
+        with pytest.raises(ValueError):
+            self._sizer(initial_linger_s=10.0)
+
+    def test_ignores_empty_batches(self):
+        sizer = self._sizer()
+        sizer.observe_batch(batch_size=0, merge_seconds=0.0, mean_wait_s=0.0)
+        assert sizer.report()["batches_observed"] == 0

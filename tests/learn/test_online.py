@@ -1,0 +1,124 @@
+"""Online regressor correctness: convergence, drift, fallback, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.learn import OnlinePredictor, RecursiveLeastSquares
+
+
+def _samples(weights, n, seed, lo=0.0, hi=4.0):
+    """Deterministic (features, target) stream from a known linear model."""
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        x = np.concatenate(([1.0], rng.uniform(lo, hi, size=len(weights) - 1)))
+        yield x, float(np.asarray(weights) @ x)
+
+
+class TestRecursiveLeastSquares:
+    def test_converges_to_known_linear_model(self):
+        true_w = [0.5, 2.0, -1.0]
+        rls = RecursiveLeastSquares(3)
+        for x, y in _samples(true_w, 200, seed=1):
+            rls.update(x, y)
+        assert np.allclose(rls.weights, true_w, atol=1e-6)
+
+    def test_update_returns_a_priori_prediction(self):
+        rls = RecursiveLeastSquares(2)
+        first = rls.update([1.0, 1.0], 3.0)
+        assert first == 0.0  # zero-initialized weights predict 0 before fitting
+        assert rls.predict([1.0, 1.0]) != 0.0
+
+    def test_forgetting_tracks_drift(self):
+        rls = RecursiveLeastSquares(2, forgetting=0.9)
+        for x, y in _samples([1.0, 1.0], 100, seed=2):
+            rls.update(x, y)
+        for x, y in _samples([5.0, -2.0], 200, seed=3):
+            rls.update(x, y)
+        assert np.allclose(rls.weights, [5.0, -2.0], atol=1e-3)
+
+    def test_deterministic_across_instances(self):
+        a = RecursiveLeastSquares(3)
+        b = RecursiveLeastSquares(3)
+        for x, y in _samples([1.0, 0.5, 2.0], 50, seed=4):
+            a.update(x, y)
+        for x, y in _samples([1.0, 0.5, 2.0], 50, seed=4):
+            b.update(x, y)
+        assert np.array_equal(a.weights, b.weights)
+        probe = [1.0, 2.0, 3.0]
+        assert a.predict(probe) == b.predict(probe)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RecursiveLeastSquares(0)
+        with pytest.raises(ValueError):
+            RecursiveLeastSquares(2, forgetting=0.0)
+        with pytest.raises(ValueError):
+            RecursiveLeastSquares(2, forgetting=1.5)
+
+
+class TestOnlinePredictor:
+    def test_withholds_predictions_before_warmup(self):
+        predictor = OnlinePredictor(2, min_samples=10)
+        for x, y in _samples([1.0, 2.0], 9, seed=5):
+            predictor.observe(x, y)
+        assert not predictor.warmed_up
+        assert predictor.predict([1.0, 1.0]) is None
+        assert predictor.fallbacks == 1
+
+    def test_healthy_after_learnable_warmup(self):
+        predictor = OnlinePredictor(2, min_samples=10)
+        for x, y in _samples([1.0, 2.0], 50, seed=6):
+            predictor.observe(x, y)
+        assert predictor.healthy
+        value = predictor.predict([1.0, 3.0])
+        assert value == pytest.approx(1.0 + 2.0 * 3.0, rel=1e-6)
+
+    def test_fallback_triggers_on_distribution_shift(self):
+        predictor = OnlinePredictor(
+            2, min_samples=10, error_threshold=0.3, error_decay=0.8
+        )
+        for x, y in _samples([1.0, 2.0], 50, seed=7):
+            predictor.observe(x, y)
+        assert predictor.healthy
+        # the world changes: targets now follow a very different model
+        shifted = 0
+        for x, y in _samples([40.0, -9.0], 10, seed=8):
+            predictor.observe(x, y)
+            if not predictor.healthy:
+                shifted += 1
+        assert shifted > 0, "error EWMA never crossed the fallback threshold"
+        assert predictor.predict([1.0, 1.0]) is None
+
+    def test_recovers_health_after_refit(self):
+        predictor = OnlinePredictor(
+            2, min_samples=5, error_threshold=0.3, error_decay=0.5, forgetting=0.9
+        )
+        for x, y in _samples([1.0, 2.0], 30, seed=9):
+            predictor.observe(x, y)
+        for x, y in _samples([8.0, -3.0], 5, seed=10):
+            predictor.observe(x, y)
+        assert not predictor.healthy
+        for x, y in _samples([8.0, -3.0], 100, seed=11):
+            predictor.observe(x, y)
+        assert predictor.healthy  # refit on the new distribution, error decayed
+
+    def test_rejects_negative_prediction(self):
+        predictor = OnlinePredictor(2, min_samples=4)
+        # fit y = -1 * x1: extrapolations are negative; costs must not be
+        for x, y in _samples([0.0, -1.0], 30, seed=12):
+            predictor.observe(x, y)
+        assert predictor.predict([1.0, 5.0]) is None
+
+    def test_error_ewma_ignores_warmup_misses(self):
+        predictor = OnlinePredictor(2, min_samples=20)
+        for x, y in _samples([10.0, 10.0], 19, seed=13):
+            predictor.observe(x, y)
+        assert predictor.error_ewma == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            OnlinePredictor(2, min_samples=0)
+        with pytest.raises(ValueError):
+            OnlinePredictor(2, error_threshold=0.0)
+        with pytest.raises(ValueError):
+            OnlinePredictor(2, error_decay=1.0)
