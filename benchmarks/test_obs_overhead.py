@@ -12,6 +12,12 @@ scale), the gate is computed from first principles:
 
 then assert ``spans x per_span_cost`` — the total instrumentation cost
 the no-op run paid — stays under 3% of the measured wall time.
+
+``test_obs_recorder_overhead`` gates the *always-on* plane the same
+way: the per-span cost of a tracer whose only sink is a
+:class:`FlightRecorder` (measured on root spans, so every iteration
+pays the full buffer-classify-finalize path) projected over the span
+volume of a recorder-on swarm must stay under 5% of its wall time.
 """
 
 import time
@@ -19,6 +25,7 @@ import time
 from conftest import report
 
 from repro.experiments.swarm import run_swarm
+from repro.obs.plane import FlightRecorder
 from repro.obs.sinks import InMemorySink
 from repro.obs.trace import NoopTracer, Tracer, use_tracer
 
@@ -28,6 +35,8 @@ OP_SECONDS = 0.01
 
 MICROBENCH_ITERS = 20_000
 OVERHEAD_BUDGET = 0.03
+RECORDER_ITERS = 5_000
+RECORDER_BUDGET = 0.05
 
 
 def _noop_span_cost() -> float:
@@ -40,10 +49,31 @@ def _noop_span_cost() -> float:
     return (time.perf_counter() - begin) / MICROBENCH_ITERS
 
 
+def _recorded_span_cost() -> float:
+    """Per-span seconds with a flight recorder attached.
+
+    Every iteration finishes a *root* span, so this upper-bounds the
+    recorder's hot path: buffer upsert plus the tail decision and
+    finalize that only roots trigger.
+    """
+    recorder = FlightRecorder(slow_threshold_s=1e9, head_sample_every=0)
+    tracer = Tracer(sinks=[recorder], keep_last=1)
+    begin = time.perf_counter()
+    for _ in range(RECORDER_ITERS):
+        with tracer.span("bench.recorded", vertex="abcdef012345", cache_hit=False):
+            pass
+    return (time.perf_counter() - begin) / RECORDER_ITERS
+
+
 def test_obs_overhead(benchmark):
     def run():
+        # recorder off: this leg measures the dark default-tracer path
         return run_swarm(
-            clients=CLIENTS, rounds=ROUNDS, op_seconds=OP_SECONDS, replay=False
+            clients=CLIENTS,
+            rounds=ROUNDS,
+            op_seconds=OP_SECONDS,
+            replay=False,
+            flight_recorder=False,
         )
 
     # 1) wall time under the default no-op tracer
@@ -85,3 +115,53 @@ def test_obs_overhead(benchmark):
     benchmark.extra_info["vc_exact_obs_commit_spans"] = by_name["service.commit"]
     benchmark.extra_info["vc_obs_spans_total"] = len(spans)
     assert traced.stats.commits_total == CLIENTS * ROUNDS
+
+
+def test_obs_recorder_overhead(benchmark):
+    """The always-on recorder must stay under 5% projected overhead."""
+    recorder = FlightRecorder(
+        slow_threshold_s=0.0, head_sample_every=0, keep_last=1024, max_traces=1024
+    )
+
+    def run():
+        return run_swarm(
+            clients=CLIENTS,
+            rounds=ROUNDS,
+            op_seconds=OP_SECONDS,
+            replay=False,
+            flight_recorder=recorder,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    wall = result.wall_seconds
+    stats = result.recorder_stats  # snapshot taken before service.stop()
+
+    per_span = _recorded_span_cost()
+    projected = stats["spans_seen"] * per_span
+    ratio = projected / wall
+
+    report(
+        f"Recorder overhead: {stats['spans_seen']} spans x "
+        f"{per_span * 1e9:.0f}ns recorded = {projected * 1e3:.3f}ms over "
+        f"{wall:.2f}s wall ({ratio * 100:.3f}% <= {RECORDER_BUDGET * 100:.0f}%)",
+        f"  decisions: {stats['decisions']}",
+    )
+
+    assert result.stats.commits_total == CLIENTS * ROUNDS
+    assert ratio < RECORDER_BUDGET
+
+    # at slow_threshold 0 the tail keeps everything: nothing may drop,
+    # and every client workload trace must be retained by name
+    assert stats["decisions"]["dropped"] == 0
+    workload_traces = [
+        t for t in recorder.kept_traces(limit=None) if t["root"] == "client.workload"
+    ]
+    assert len(workload_traces) == CLIENTS * ROUNDS
+
+    benchmark.extra_info["vc_exact_obs_recorder_workload_traces"] = len(
+        workload_traces
+    )
+    benchmark.extra_info["vc_exact_obs_recorder_dropped"] = stats["decisions"][
+        "dropped"
+    ]
+    benchmark.extra_info["vc_obs_recorder_spans_seen"] = stats["spans_seen"]

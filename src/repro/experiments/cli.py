@@ -10,12 +10,23 @@ Usage::
 Each subcommand regenerates one table/figure and prints the series the
 paper reports.  Sizes default to laptop scale; raise ``--apps`` /
 ``--pipelines`` for longer, smoother runs.
+
+Beyond the figures, three live-operations commands talk to a running
+transport server (they are excluded from ``all``)::
+
+    python -m repro.experiments serve --port 7821 --shards 2 --seed-workloads 4
+    python -m repro.experiments metrics --addr 127.0.0.1:7821
+    python -m repro.experiments inspect --addr 127.0.0.1:7821 --perfetto-out t.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+from pathlib import Path
+from typing import Any
 
 from ..obs import ChromeTraceSink, NoopTracer, Tracer, set_tracer
 from ..workloads.home_credit import generate_home_credit
@@ -257,6 +268,17 @@ def _run_swarm(_sources, args) -> None:
                 f"adaptive {result.hot_hit_ratio:.1%} "
                 f"(delta {result.hot_hit_ratio - static_ratio:+.1%})"
             )
+    if result.recorder_stats:
+        decisions = result.recorder_stats.get("decisions") or {}
+        _print(
+            f"  flight recorder: {result.recorder_stats.get('spans_seen', 0)} spans, "
+            f"{result.recorder_stats.get('kept_retained', 0)} traces retained ("
+            + ", ".join(f"{name}={count}" for name, count in decisions.items())
+            + ")"
+        )
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(result.metrics_text)
+        _print(f"  metrics written to {args.metrics_out}")
     _print(
         f"  final EG: {result.eg_vertices} vertices, {result.eg_edges} edges, "
         f"{result.eg_materialized} materialized, {result.store_bytes} store bytes"
@@ -265,6 +287,205 @@ def _run_swarm(_sources, args) -> None:
     _print(f"  sequential commit-order replay identical: {match}")
     if match is False:
         raise SystemExit("swarm EG diverged from the sequential replay")
+
+
+def _parse_addr(addr: str) -> tuple[str, int]:
+    host, sep, port = addr.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(f"--addr must be HOST:PORT, got {addr!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _require_addr(args) -> tuple[str, int]:
+    if not args.addr:
+        raise SystemExit(f"{args.experiment} needs --addr HOST:PORT")
+    return _parse_addr(args.addr)
+
+
+def _run_metrics(_sources, args) -> None:
+    """One-shot scrape of a live server's metrics registry."""
+    from ..transport import TransportConnection
+
+    host, port = _require_addr(args)
+    with TransportConnection(host, port) as connection:
+        if args.format == "json":
+            snapshot = connection.request({"op": "metrics", "format": "json"})
+            text = json.dumps(snapshot["metrics"], indent=2, sort_keys=True)
+        else:
+            text = connection.request({"op": "metrics", "format": "text"})["text"]
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(text)
+        _print(f"metrics written to {args.metrics_out}")
+    else:
+        _print(text.rstrip("\n"))
+
+
+def _run_inspect(_sources, args) -> None:
+    """Live introspection: health, SLO burns, kept traces, slow spans."""
+    from ..obs import perfetto_document
+    from ..transport import TransportConnection
+
+    host, port = _require_addr(args)
+    with TransportConnection(host, port) as connection:
+        health = connection.request({"op": "health"})["health"]
+        message: dict[str, Any] = {
+            "op": "debug",
+            "traces": args.traces,
+            "spans": args.spans,
+        }
+        if args.trace_id:
+            message["trace_id"] = args.trace_id
+        debug = connection.request(message)["debug"]
+        trace_id = args.trace_id
+        trace_spans = debug.get("trace")
+        if args.perfetto_out and trace_spans is None:
+            kept = debug.get("recent_traces") or []
+            if not kept:
+                raise SystemExit(
+                    "no kept traces to export; generate traffic or lower the "
+                    "server's slow threshold"
+                )
+            trace_id = kept[0]["trace_id"]
+            trace_spans = connection.request({**message, "trace_id": trace_id})[
+                "debug"
+            ]["trace"]
+
+    queue = health.get("queue") or {}
+    _print(
+        f"health: {health.get('status')} (service version {health.get('version')}, "
+        f"{health.get('open_sessions', 0)} open sessions)"
+    )
+    _print(
+        f"  queue: depth {queue.get('depth', 0)}/{queue.get('capacity', 0)} "
+        f"(peak {queue.get('peak', 0)}, headroom {queue.get('headroom', 0)})"
+    )
+    for shard in health.get("shards") or ():
+        shard_queue = shard.get("queue") or {}
+        _print(
+            f"    shard {shard.get('shard')}: {shard.get('status')} "
+            f"queue {shard_queue.get('depth', 0)}/{shard_queue.get('capacity', 0)}"
+        )
+    recorder = debug.get("recorder") or health.get("recorder")
+    if recorder:
+        decisions = recorder.get("decisions") or {}
+        _print(
+            f"  recorder: {recorder.get('spans_seen', 0)} spans, "
+            f"{recorder.get('kept_retained', 0)} traces retained ("
+            + ", ".join(f"{name}={count}" for name, count in decisions.items())
+            + ")"
+        )
+    for name, slo in sorted((health.get("slo") or {}).items()):
+        _print(
+            f"  slo {name}: objective {slo.get('objective')}, "
+            f"firing {slo.get('firing') or 'none'}"
+        )
+    alerts = debug.get("alerts") or []
+    if alerts:
+        _print(f"  alert journal ({len(alerts)} transitions):")
+        for alert in alerts[-args.traces :]:
+            _print(
+                f"    {alert.get('state'):>8} {alert.get('slo')} "
+                f"[{alert.get('severity')}] burn {alert.get('burn_short', 0):.2f}/"
+                f"{alert.get('burn_long', 0):.2f}"
+            )
+    kept = debug.get("recent_traces") or []
+    _print(f"  kept traces ({len(kept)} shown, newest first):")
+    for trace in kept:
+        _print(
+            f"    {trace.get('trace_id')} {trace.get('decision'):>7} "
+            f"{trace.get('duration_s', 0) * 1e3:8.1f}ms "
+            f"{trace.get('spans', 0):>3} spans  {trace.get('root')}"
+        )
+    slowest = debug.get("slowest_spans") or []
+    if slowest:
+        _print("  slowest spans by self-time:")
+        for span in slowest:
+            _print(
+                f"    {span.get('self_s', 0) * 1e3:8.1f}ms self "
+                f"({span.get('duration_s', 0) * 1e3:8.1f}ms total) "
+                f"{span.get('name')}  [{span.get('decision')}]"
+            )
+    if args.perfetto_out and trace_spans is not None:
+        Path(args.perfetto_out).write_text(
+            json.dumps(perfetto_document(trace_spans))
+        )
+        _print(f"  perfetto trace {trace_id} written to {args.perfetto_out}")
+
+
+def _seed_served_workloads(host: str, port: int, args) -> None:
+    from ..client.executor import VirtualCostModel
+    from ..transport import TransportServiceClient
+    from .swarm import (
+        sharded_swarm_script,
+        sharded_swarm_sources,
+        swarm_script,
+        swarm_sources,
+    )
+
+    with TransportServiceClient(
+        host, port, name="seed", cost_model=VirtualCostModel()
+    ) as client:
+        for index in range(args.seed_workloads):
+            if args.shards > 1:
+                client.run_script(
+                    sharded_swarm_script(index, index % 3, args.shards, 0.002),
+                    sharded_swarm_sources(args.shards),
+                    label=f"seed:{index}",
+                )
+            else:
+                client.run_script(
+                    swarm_script(index, index % 3, 0.002),
+                    swarm_sources(),
+                    label=f"seed:{index}",
+                )
+    _print(f"seeded {args.seed_workloads} workloads")
+
+
+def _run_serve(_sources, args) -> None:
+    """Stand up a live transport server (for the inspect/metrics smoke)."""
+    from ..materialization import MaterializeAll
+    from ..obs import FlightRecorder
+    from ..transport import AsyncTransportServer
+
+    recorder = FlightRecorder(slow_threshold_s=args.slow_threshold_ms / 1000.0)
+    if args.shards > 1:
+        from ..shard import ShardedEGService
+
+        service: Any = ShardedEGService(
+            lambda _index: MaterializeAll(),
+            args.shards,
+            background=True,
+            flight_recorder=recorder,
+        )
+    else:
+        from ..service import EGService
+
+        service = EGService(
+            MaterializeAll(), background=True, flight_recorder=recorder
+        )
+    server = AsyncTransportServer(service, host=args.host, port=args.port)
+    host, port = server.start()
+    _print(
+        f"serving on {host}:{port} ({args.shards} shard(s), "
+        f"slow threshold {args.slow_threshold_ms:g}ms, "
+        f"duration {args.duration:g}s)"
+    )
+    sys.stdout.flush()
+    try:
+        if args.seed_workloads:
+            _seed_served_workloads(host, port, args)
+            sys.stdout.flush()
+        deadline = (
+            time.monotonic() + args.duration if args.duration > 0 else None
+        )
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        service.stop()
+    _print("server stopped")
 
 
 def _run_workers(_sources, args) -> None:
@@ -289,13 +510,17 @@ _KAGGLE_EXPERIMENTS = {
 }
 _OPENML_EXPERIMENTS = {"fig8": _run_fig8, "fig10": _run_fig10}
 _STANDALONE = {"fig9d": _run_fig9d, "workers": _run_workers, "swarm": _run_swarm}
+#: live-operations commands against a running server; never part of "all"
+_LIVE = {"metrics": _run_metrics, "inspect": _run_inspect, "serve": _run_serve}
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments", description=__doc__
     )
-    choices = sorted({**_KAGGLE_EXPERIMENTS, **_OPENML_EXPERIMENTS, **_STANDALONE, "all": None})
+    choices = sorted(
+        {**_KAGGLE_EXPERIMENTS, **_OPENML_EXPERIMENTS, **_STANDALONE, **_LIVE, "all": None}
+    )
     parser.add_argument("experiment", choices=choices)
     parser.add_argument("--apps", type=int, default=1000, help="Home Credit applications")
     parser.add_argument("--pipelines", type=int, default=100, help="OpenML pipelines")
@@ -356,6 +581,68 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write a Chrome trace-event JSON of the run (open in Perfetto)",
     )
+    parser.add_argument(
+        "--addr",
+        default=None,
+        metavar="HOST:PORT",
+        help="live server address for the metrics/inspect commands",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="metrics command output: Prometheus text or a JSON snapshot",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics render to a file (metrics and swarm commands)",
+    )
+    parser.add_argument(
+        "--traces", type=int, default=16, help="inspect: kept traces to show"
+    )
+    parser.add_argument(
+        "--spans", type=int, default=10, help="inspect: slowest spans to show"
+    )
+    parser.add_argument(
+        "--trace-id",
+        default=None,
+        help="inspect: fetch this kept trace's full span list",
+    )
+    parser.add_argument(
+        "--perfetto-out",
+        default=None,
+        metavar="PATH",
+        help="inspect: write a kept trace as Chrome trace-event JSON",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="serve: bind address"
+    )
+    parser.add_argument(
+        "--port", type=int, default=0, help="serve: bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="serve: seconds to stay up (0 = until interrupted)",
+    )
+    parser.add_argument(
+        "--seed-workloads",
+        type=int,
+        default=0,
+        help="serve: commit this many synthetic workloads at startup",
+    )
+    parser.add_argument(
+        "--slow-threshold-ms",
+        type=float,
+        default=0.0,
+        help=(
+            "serve: flight-recorder slow threshold; 0 keeps every "
+            "finished trace (handy for smoke tests)"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=42)
     args = parser.parse_args(argv)
 
@@ -380,6 +667,8 @@ def main(argv: list[str] | None = None) -> int:
                 if credit_sources is None:
                     credit_sources = generate_credit_g(n_rows=1000, seed=31)
                 _OPENML_EXPERIMENTS[name](credit_sources, args)
+            elif name in _LIVE:
+                _LIVE[name](None, args)
             else:
                 _STANDALONE[name](None, args)
     finally:

@@ -217,6 +217,11 @@ class SwarmResult:
     adaptive_report: dict[str, Any] = field(default_factory=dict, repr=False)
     #: hot-tier hit ratio of the run's store (None without a tiered store)
     hot_hit_ratio: float | None = None
+    #: Prometheus text render of the service registry at shutdown
+    #: (sharded runs concatenate coordinator + per-shard sections)
+    metrics_text: str = field(default="", repr=False)
+    #: flight-recorder counters at shutdown (empty when recorder off)
+    recorder_stats: dict[str, Any] = field(default_factory=dict, repr=False)
 
     @property
     def fingerprint_match(self) -> bool | None:
@@ -323,6 +328,7 @@ def run_swarm(
     transport_codec: str = "binary",
     adaptive: bool = False,
     adaptive_config: Any | None = None,
+    flight_recorder: Any | None = None,
 ) -> SwarmResult:
     """Run the swarm and (optionally) verify against a sequential replay.
 
@@ -356,6 +362,13 @@ def run_swarm(
     zero-copy columnar with dedup, or the ``json`` fallback).  The
     fingerprint check is transport-independent — the merged EG must be
     bit-identical either way.
+
+    ``flight_recorder`` passes through to the service's telemetry plane:
+    ``None`` keeps the background default (on), ``False`` runs dark, and
+    a :class:`~repro.obs.plane.FlightRecorder` instance lets the caller
+    inspect kept traces after the run.  The result captures the
+    recorder's final counters and the registry's Prometheus text before
+    shutdown.
     """
     if transport not in (None, "inproc", "tcp"):
         raise ValueError(f"unknown transport {transport!r} (expected 'inproc' or 'tcp')")
@@ -380,6 +393,7 @@ def run_swarm(
             transport_codec=transport_codec,
             adaptive=adaptive,
             adaptive_config=adaptive_config,
+            flight_recorder=flight_recorder,
         )
     collector = batch_sizer = learned_model = None
     if adaptive:
@@ -395,6 +409,7 @@ def run_swarm(
         background=True,
         debug_cross_check=debug_cross_check,
         batch_sizer=batch_sizer,
+        flight_recorder=flight_recorder,
     )
     if collector is not None:
         collector.queue_depth_fn = (
@@ -441,6 +456,10 @@ def run_swarm(
     client_wire_stats: dict = {}
     if server is not None:
         wire_stats, client_wire_stats = _teardown_transport(server, pool)
+    # snapshot telemetry before stop(): shutdown uninstalls the recorder
+    metrics_text = service.metrics_text()
+    recorder = service.flight_recorder
+    recorder_stats = recorder.stats() if recorder is not None else {}
     service.stop()
     if errors:
         raise errors[0]
@@ -471,6 +490,8 @@ def run_swarm(
         hot_hit_ratio=(
             store.stats.hit_ratio if hasattr(store, "stats") else None
         ),
+        metrics_text=metrics_text,
+        recorder_stats=recorder_stats,
     )
 
     if replay:
@@ -509,6 +530,7 @@ def _run_swarm_sharded(
     transport_codec: str = "binary",
     adaptive: bool = False,
     adaptive_config: Any | None = None,
+    flight_recorder: Any | None = None,
 ) -> SwarmResult:
     from ..shard import ShardedEGService
 
@@ -537,6 +559,7 @@ def _run_swarm_sharded(
         background=True,
         debug_cross_check=debug_cross_check,
         batch_sizer_factory=sizer_factory,
+        flight_recorder=flight_recorder,
     )
     server = pool = None
     if transport == "tcp":
@@ -580,6 +603,13 @@ def _run_swarm_sharded(
     client_wire_stats: dict = {}
     if server is not None:
         wire_stats, client_wire_stats = _teardown_transport(server, pool)
+    # snapshot telemetry before stop(): shutdown uninstalls the recorder
+    metrics_text = "\n".join(
+        [service.metrics_text()]
+        + [shard.metrics_text() for shard in service.shards]
+    )
+    recorder = service.flight_recorder
+    recorder_stats = recorder.stats() if recorder is not None else {}
     service.stop()
     if errors:
         raise errors[0]
@@ -613,6 +643,8 @@ def _run_swarm_sharded(
         adaptive_report=(
             _adaptive_report(collector, batch_sizer) if collector is not None else {}
         ),
+        metrics_text=metrics_text,
+        recorder_stats=recorder_stats,
     )
     if replay:
         result.replay_fingerprint = eg_fingerprint(

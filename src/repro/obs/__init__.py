@@ -11,6 +11,10 @@ package so instrumented code needs one import surface:
   trace/span-id correlation.
 * :mod:`repro.obs.sinks` / :mod:`repro.obs.profile` — span exporters
   (JSON lines, Chrome trace events) and top-k self-time summaries.
+* :mod:`repro.obs.plane` — the always-on telemetry plane: the
+  tail-sampling :class:`FlightRecorder` and Perfetto export.
+* :mod:`repro.obs.slo` — declarative objectives with multi-window
+  burn-rate alerting over the metrics registries.
 """
 
 from .log import configure_logging, get_logger
@@ -23,8 +27,24 @@ from .metrics import (
     percentile,
     set_registry,
 )
+from .plane import (
+    FlightRecorder,
+    install_recorder,
+    perfetto_document,
+    uninstall_recorder,
+)
 from .profile import ProfileEntry, ProfileReport
 from .sinks import ChromeTraceSink, InMemorySink, JsonLinesSink
+from .slo import (
+    SLO,
+    AlertEvent,
+    BurnWindow,
+    CounterRatioSource,
+    GaugeBelowSource,
+    HistogramLatencySource,
+    SLOEngine,
+    default_service_slos,
+)
 from .trace import (
     NoopTracer,
     Span,
@@ -45,6 +65,18 @@ __all__ = [
     "get_registry",
     "set_registry",
     "percentile",
+    "FlightRecorder",
+    "install_recorder",
+    "uninstall_recorder",
+    "perfetto_document",
+    "SLO",
+    "SLOEngine",
+    "AlertEvent",
+    "BurnWindow",
+    "CounterRatioSource",
+    "GaugeBelowSource",
+    "HistogramLatencySource",
+    "default_service_slos",
     "ProfileEntry",
     "ProfileReport",
     "ChromeTraceSink",

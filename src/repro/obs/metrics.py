@@ -27,6 +27,8 @@ import threading
 from bisect import bisect_left
 from typing import Any, Iterable, Mapping, Sequence
 
+from .trace import get_tracer
+
 __all__ = [
     "percentile",
     "Counter",
@@ -177,12 +179,17 @@ class Gauge(_Instrument):
 
 
 class _HistogramSeries:
-    __slots__ = ("bucket_counts", "sum", "count")
+    __slots__ = ("bucket_counts", "sum", "count", "exemplars")
 
     def __init__(self, n_buckets: int):
         self.bucket_counts = [0] * n_buckets  # one per finite bound; +Inf is implied
         self.sum = 0.0
         self.count = 0
+        # last exemplar per bucket index (the +Inf bucket is index
+        # n_buckets), as (value, trace_id, span_id); replaced
+        # copy-on-write so snapshot readers outside the lock never see a
+        # dict mid-mutation
+        self.exemplars: dict[int, tuple[float, str, str]] = {}
 
 
 class Histogram(_Instrument):
@@ -210,9 +217,25 @@ class Histogram(_Instrument):
             raise ValueError("a histogram needs at least one bucket bound")
         self.buckets = bounds
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(
+        self, value: float, exemplar: Any | None = None, **labels: Any
+    ) -> None:
+        """Record ``value``; optionally link the bucket to a trace.
+
+        ``exemplar`` is anything with ``trace_id``/``span_id`` attributes
+        (a :class:`~repro.obs.trace.SpanContext` or a span).  When omitted
+        and tracing is enabled, the calling thread's current span context
+        is captured automatically, so a p99 bucket points at a concrete
+        trace the flight recorder may have kept.
+        """
         key = _label_key(self.labelnames, labels)
         index = bisect_left(self.buckets, value)
+        if exemplar is None:
+            tracer = get_tracer()
+            if tracer.enabled:
+                exemplar = tracer.current_context()
+        trace_id = getattr(exemplar, "trace_id", None)
+        span_id = getattr(exemplar, "span_id", None)
         with self._lock:
             series = self._series.get(key)
             if series is None:
@@ -221,6 +244,11 @@ class Histogram(_Instrument):
                 series.bucket_counts[index] += 1
             series.sum += value
             series.count += 1
+            if trace_id:
+                series.exemplars = {
+                    **series.exemplars,
+                    index: (float(value), str(trace_id), str(span_id or "")),
+                }
 
     def quantile(self, fraction: float, **labels: Any) -> float:
         """Estimated value at ``fraction`` via in-bucket interpolation."""
@@ -244,12 +272,41 @@ class Histogram(_Instrument):
             cumulative += bucket_count
         return self.buckets[-1]  # target fell into the +Inf bucket
 
-    def _plain(self, value: _HistogramSeries) -> dict[str, Any]:
+    def _bucket_bound(self, index: int) -> str:
+        return "+Inf" if index >= len(self.buckets) else str(self.buckets[index])
+
+    def exemplars(self, **labels: Any) -> dict[str, dict[str, Any]]:
+        """Exemplars of one series keyed by bucket upper bound."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            stored = series.exemplars if series is not None else {}
         return {
+            self._bucket_bound(index): {
+                "value": value,
+                "trace_id": trace_id,
+                "span_id": span_id,
+            }
+            for index, (value, trace_id, span_id) in sorted(stored.items())
+        }
+
+    def _plain(self, value: _HistogramSeries) -> dict[str, Any]:
+        plain = {
             "buckets": dict(zip([str(b) for b in self.buckets], value.bucket_counts)),
             "sum": value.sum,
             "count": value.count,
         }
+        exemplars = value.exemplars  # COW dict: safe to read without the lock
+        if exemplars:
+            plain["exemplars"] = {
+                self._bucket_bound(index): {
+                    "value": observed,
+                    "trace_id": trace_id,
+                    "span_id": span_id,
+                }
+                for index, (observed, trace_id, span_id) in sorted(exemplars.items())
+            }
+        return plain
 
 
 class MetricsRegistry:
@@ -298,6 +355,11 @@ class MetricsRegistry:
         return self._get_or_create(
             Histogram, name, help, labelnames=tuple(labelnames), buckets=buckets
         )
+
+    def get(self, name: str) -> _Instrument | None:
+        """The registered instrument named ``name`` (no creation), or None."""
+        with self._lock:
+            return self._instruments.get(name)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:

@@ -259,7 +259,7 @@ class Tracer:
             try:
                 sink.on_span(span)
             except Exception:  # noqa: BLE001 - observability must not kill work
-                pass
+                _note_sink_error("on_span")
 
     # ------------------------------------------------------------------
     # Introspection and lifecycle
@@ -278,7 +278,72 @@ class Tracer:
             try:
                 sink.close()
             except Exception:  # noqa: BLE001
-                pass
+                _note_sink_error("close")
+
+    # ------------------------------------------------------------------
+    # Sink management (the flight recorder attaches/detaches at runtime)
+    # ------------------------------------------------------------------
+    def add_sink(self, sink: Any) -> None:
+        """Attach a sink (idempotent); it starts seeing finished spans.
+
+        The sink list is swapped copy-on-write under the tracer lock, so
+        :meth:`_record` iterates it without locking.
+        """
+        with self._lock:
+            if not any(existing is sink for existing in self._sinks):
+                self._sinks = [*self._sinks, sink]
+
+    def remove_sink(self, sink: Any) -> None:
+        """Detach a sink by identity (no-op when not attached)."""
+        with self._lock:
+            self._sinks = [s for s in self._sinks if s is not sink]
+
+    @property
+    def sink_count(self) -> int:
+        return len(self._sinks)
+
+
+#: seconds between repeated warnings about the same failing sink stage
+_SINK_WARN_INTERVAL_S = 60.0
+_sink_warn_lock = threading.Lock()
+_sink_warned_at: dict[str, float] = {}
+
+
+def _note_sink_error(stage: str) -> None:
+    """Account for a swallowed sink exception: count it, warn rate-limited.
+
+    Swallowing stays the contract — a broken exporter must never fail a
+    workload — but it is no longer invisible: every occurrence bumps
+    ``repro_obs_sink_errors_total{stage}`` in the process-global registry
+    and at most one warning per stage per minute carries the traceback.
+    Imports are lazy because :mod:`.log` and :mod:`.metrics` are layered
+    on top of this module.
+    """
+    try:
+        from .metrics import get_registry
+
+        get_registry().counter(
+            "repro_obs_sink_errors_total",
+            "span-sink exceptions swallowed by the tracer",
+            ("stage",),
+        ).inc(stage=stage)
+        now = time.monotonic()
+        with _sink_warn_lock:
+            last = _sink_warned_at.get(stage)
+            if last is not None and now - last < _SINK_WARN_INTERVAL_S:
+                return
+            _sink_warned_at[stage] = now
+        from .log import get_logger
+
+        get_logger("repro.obs.trace").warning(
+            "span sink raised in %s; suppressing repeats for %.0fs "
+            "(repro_obs_sink_errors_total counts every occurrence)",
+            stage,
+            _SINK_WARN_INTERVAL_S,
+            exc_info=True,
+        )
+    except Exception:  # noqa: BLE001 - error accounting must not raise either
+        pass
 
 
 class NoopTracer:
@@ -305,6 +370,16 @@ class NoopTracer:
 
     def spans_for_trace(self, trace_id: str) -> list[Span]:
         return []
+
+    def add_sink(self, sink: Any) -> None:
+        pass
+
+    def remove_sink(self, sink: Any) -> None:
+        pass
+
+    @property
+    def sink_count(self) -> int:
+        return 0
 
     def close(self) -> None:
         pass

@@ -38,7 +38,9 @@ from ..eg.updater import BatchUpdateReport, Updater
 from ..eg.utility_index import UtilityIndex
 from ..graph.dag import WorkloadDAG
 from ..materialization.base import Materializer
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.plane import FlightRecorder, install_recorder, uninstall_recorder
+from ..obs.slo import SLO, SLOEngine, default_service_slos
 from ..obs.trace import SpanContext, get_tracer
 from ..reuse.linear import LinearReuse
 from ..server.optimizer import OptimizationResult, Optimizer
@@ -228,6 +230,8 @@ class EGService:
         plan_cache_size: int = 128,
         debug_cross_check: bool = False,
         batch_sizer: Any | None = None,
+        flight_recorder: FlightRecorder | bool | None = None,
+        slos: list[SLO] | None = None,
     ):
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be at least 1")
@@ -305,6 +309,36 @@ class EGService:
         self._deferred_gauge = self.metrics_registry.gauge(
             "repro_service_deferred_evictions", "content removals awaiting leases"
         )
+
+        #: the always-on telemetry plane.  ``flight_recorder`` accepts a
+        #: recorder instance (shared), True (own one), False (off), or
+        #: None — the default, which enables it only for *background*
+        #: services: those are the production shape, while the paper
+        #: figures construct thousands of short-lived inline services
+        #: that must stay zero-overhead.  With a recorder comes an SLO
+        #: engine over this service's registry plus the process-global
+        #: one (store/planner/learn series live there).
+        recorder: FlightRecorder | None
+        if flight_recorder is None:
+            recorder = (
+                FlightRecorder(registry=self.metrics_registry) if background else None
+            )
+        elif flight_recorder is True:
+            recorder = FlightRecorder(registry=self.metrics_registry)
+        elif flight_recorder is False:
+            recorder = None
+        else:
+            recorder = flight_recorder
+        self.flight_recorder = recorder
+        self.slo_engine: SLOEngine | None = None
+        if recorder is not None:
+            install_recorder(recorder)
+            self.slo_engine = SLOEngine(
+                slos if slos is not None else default_service_slos(),
+                registries=[self.metrics_registry, get_registry()],
+                registry=self.metrics_registry,
+            )
+
         if background:
             self.start()
 
@@ -351,6 +385,7 @@ class EGService:
                 # deferred removals to its flush rather than racing the
                 # working EG/store mid-merge
                 logger.warning("merge worker did not exit within %.1fs", timeout)
+                self._teardown_telemetry()
                 return
             # worker exited: no merge can run, reclaim deferred removals
             self.versioned.flush_deferred()
@@ -360,6 +395,13 @@ class EGService:
                 if drain:
                     self._drain_once()
                 self.versioned.flush_deferred()
+        self._teardown_telemetry()
+
+    def _teardown_telemetry(self) -> None:
+        """Detach the recorder from the process tracer; its retained
+        traces stay readable (debug surfaces work on a stopped service)."""
+        if self.flight_recorder is not None:
+            uninstall_recorder(self.flight_recorder)
 
     @property
     def running(self) -> bool:
@@ -415,6 +457,7 @@ class EGService:
         """
         self._require_session(session_id)
         self._require_running()
+        plan_started = time.perf_counter()
         with get_tracer().span("service.plan", session=session_id) as span:
             lease = self.versioned.acquire()
             try:
@@ -444,7 +487,12 @@ class EGService:
                 raise
             span.set_attribute("version", lease.version)
             span.set_attribute("loads", len(result.plan.loads))
-        self._metrics.record_plan(session_id, len(result.plan.loads))
+        self._metrics.record_plan(
+            session_id,
+            len(result.plan.loads),
+            seconds=time.perf_counter() - plan_started,
+            exemplar=span.context,
+        )
         return ServicePlan(session_id=session_id, result=result, lease=lease)
 
     # ------------------------------------------------------------------
@@ -605,7 +653,7 @@ class EGService:
                 max(0.0, started - ticket.enqueued_at) if ticket.enqueued_at else 0.0
             )
             wait_total += wait_s
-            self._metrics.record_queue_wait(wait_s)
+            self._metrics.record_queue_wait(wait_s, exemplar=ticket.trace_parent)
             span = tracer.span(
                 "service.commit",
                 parent=ticket.trace_parent,
@@ -670,11 +718,15 @@ class EGService:
                 )
             )
         if report.merged_workloads:
-            self._metrics.record_batch(report.merged_workloads, merge_seconds)
+            self._metrics.record_batch(
+                report.merged_workloads, merge_seconds, exemplar=batch_span.context
+            )
             if self.batch_sizer is not None:
                 self.batch_sizer.observe_batch(
                     report.merged_workloads, merge_seconds, wait_total / len(batch)
                 )
+        if self.slo_engine is not None:
+            self.slo_engine.maybe_evaluate()
         return len(batch)
 
     # ------------------------------------------------------------------
@@ -765,3 +817,67 @@ class EGService:
         """JSON-shaped snapshot of the service's metrics registry."""
         self._observe_gauges()
         return self.metrics_registry.snapshot()
+
+    # ------------------------------------------------------------------
+    # Live introspection (the transport's ``health``/``debug`` ops)
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """Cheap liveness/readiness snapshot: queue headroom, recorder
+        totals, and the currently-firing SLO burns."""
+        with self._queue_cv:
+            queue_depth = len(self._queue)
+            queue_peak = self._queue_peak
+        with self._registry_lock:
+            open_sessions = len(self._sessions)
+        alerts: list[dict[str, str]] = []
+        if self.slo_engine is not None:
+            self.slo_engine.maybe_evaluate()
+            alerts = self.slo_engine.active()
+        if self._stopped:
+            status = "stopped"
+        elif alerts:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "version": self.versioned.version,
+            "open_sessions": open_sessions,
+            "queue": {
+                "depth": queue_depth,
+                "capacity": self.queue_capacity,
+                "peak": queue_peak,
+                "headroom": self.queue_capacity - queue_depth,
+            },
+            "recorder": (
+                self.flight_recorder.stats()
+                if self.flight_recorder is not None
+                else None
+            ),
+            "slo": self.slo_engine.status() if self.slo_engine is not None else None,
+            "alerts": alerts,
+        }
+
+    def debug_info(
+        self, traces: int = 16, spans: int = 20, trace_id: str | None = None
+    ) -> dict[str, Any]:
+        """Flight-recorder view: recent kept traces, slowest spans by
+        self-time, the SLO alert journal — and, when ``trace_id`` names a
+        kept trace, its full span list (Perfetto-renderable via
+        :func:`repro.obs.plane.perfetto_document`)."""
+        recorder = self.flight_recorder
+        if self.slo_engine is not None:
+            self.slo_engine.maybe_evaluate()
+        info: dict[str, Any] = {
+            "recorder": recorder.stats() if recorder is not None else None,
+            "recent_traces": (
+                recorder.kept_traces(traces) if recorder is not None else []
+            ),
+            "slowest_spans": (
+                recorder.slowest_spans(spans) if recorder is not None else []
+            ),
+            "alerts": self.slo_engine.journal() if self.slo_engine is not None else [],
+        }
+        if trace_id is not None and recorder is not None:
+            info["trace"] = recorder.trace(trace_id)
+        return info

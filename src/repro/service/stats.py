@@ -211,6 +211,16 @@ class MetricsRecorder:
             "submit-to-merge-start wait of committed workloads",
             buckets=_LATENCY_BUCKETS,
         )
+        self._plan_hist = reg.histogram(
+            "repro_service_plan_seconds",
+            "service-side plan latency (cache hits included)",
+            buckets=_LATENCY_BUCKETS,
+        )
+        self._merge_batch_hist = reg.histogram(
+            "repro_service_merge_batch_seconds",
+            "wall seconds per merge batch",
+            buckets=_LATENCY_BUCKETS,
+        )
         #: session_id -> display name (the one non-registry piece of state)
         self._names: dict[str, str] = {}
         self._names_lock = threading.Lock()
@@ -223,11 +233,19 @@ class MetricsRecorder:
         with self._names_lock:
             self._names.setdefault(session_id, name)
 
-    def record_plan(self, session_id: str, planned_loads: int) -> None:
+    def record_plan(
+        self,
+        session_id: str,
+        planned_loads: int,
+        seconds: float | None = None,
+        exemplar=None,
+    ) -> None:
         self._plans.inc(session=session_id)
         if planned_loads:
             self._planned_loads.inc(planned_loads, session=session_id)
             self._reuse_hits.inc(session=session_id)
+        if seconds is not None:
+            self._plan_hist.observe(seconds, exemplar=exemplar)
 
     def record_commit(self, session_id: str, merged: bool) -> None:
         if merged:
@@ -241,12 +259,15 @@ class MetricsRecorder:
     def record_retry(self, session_id: str) -> None:
         self._retries.inc(session=session_id)
 
-    def record_batch(self, batch_size: int, merge_seconds: float) -> None:
+    def record_batch(
+        self, batch_size: int, merge_seconds: float, exemplar=None
+    ) -> None:
         self._batches.inc()
         self._merged.inc(batch_size)
         self._merge_seconds.inc(merge_seconds)
         self._max_batch.set_max(batch_size)
         self._max_merge_seconds.set_max(merge_seconds)
+        self._merge_batch_hist.observe(merge_seconds, exemplar=exemplar)
 
     def record_plan_cache(self, hit: bool) -> None:
         (self._plan_cache_hits if hit else self._plan_cache_misses).inc()
@@ -263,13 +284,13 @@ class MetricsRecorder:
         if potential_dirty:
             self._utility_potential_dirty.inc(potential_dirty)
 
-    def record_request_latency(self, seconds: float) -> None:
+    def record_request_latency(self, seconds: float, exemplar=None) -> None:
         with self._latency_lock:
             self._latencies.append(seconds)
-        self._request_hist.observe(seconds)
+        self._request_hist.observe(seconds, exemplar=exemplar)
 
-    def record_queue_wait(self, seconds: float) -> None:
-        self._queue_wait_hist.observe(seconds)
+    def record_queue_wait(self, seconds: float, exemplar=None) -> None:
+        self._queue_wait_hist.observe(seconds, exemplar=exemplar)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -45,7 +45,9 @@ from ..eg.graph import ExperimentGraph
 from ..eg.storage import ArtifactStore, LoadCostModel, StorageTier
 from ..graph.dag import WorkloadDAG
 from ..materialization.base import Materializer
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, get_registry
+from ..obs.plane import FlightRecorder, install_recorder, uninstall_recorder
+from ..obs.slo import SLO, SLOEngine, default_service_slos
 from ..reuse.linear import LinearReuse
 from ..server.optimizer import OptimizationResult, Optimizer
 from ..service.core import CommitRecord, CommitResult, EGService, ServiceSession, UpdateTicket
@@ -291,6 +293,8 @@ class ShardedEGService:
         plan_cache_size: int = 128,
         debug_cross_check: bool = False,
         batch_sizer_factory: Callable[[int], Any] | None = None,
+        flight_recorder: FlightRecorder | bool | None = None,
+        slos: list[SLO] | None = None,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be at least 1")
@@ -328,6 +332,10 @@ class ShardedEGService:
                 background=background,
                 plan_cache_size=plan_cache_size,
                 debug_cross_check=debug_cross_check,
+                # one telemetry plane for the whole sharded service: the
+                # coordinator's recorder sees every span, so shards run
+                # dark and the SLO engine reads their registries directly
+                flight_recorder=False,
                 # one sizer per shard: each merge worker drives its own
                 # linger controller (the sizer is single-writer by design)
                 batch_sizer=(
@@ -390,6 +398,34 @@ class ShardedEGService:
             ("shard",),
         )
 
+        #: one telemetry plane at the coordinator (see EGService: same
+        #: instance/True/False/None-means-background contract).  The SLO
+        #: engine reads the coordinator registry, every shard registry,
+        #: and the process-global one, so per-shard merge/queue series
+        #: burn the same budgets they would unsharded.
+        recorder: FlightRecorder | None
+        if flight_recorder is None:
+            recorder = (
+                FlightRecorder(registry=self.metrics_registry) if background else None
+            )
+        elif flight_recorder is True:
+            recorder = FlightRecorder(registry=self.metrics_registry)
+        elif flight_recorder is False:
+            recorder = None
+        else:
+            recorder = flight_recorder
+        self.flight_recorder = recorder
+        self.slo_engine: SLOEngine | None = None
+        if recorder is not None:
+            install_recorder(recorder)
+            self.slo_engine = SLOEngine(
+                slos if slos is not None else default_service_slos(),
+                registries=[self.metrics_registry]
+                + [shard.metrics_registry for shard in self.shards]
+                + [get_registry()],
+                registry=self.metrics_registry,
+            )
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -401,6 +437,8 @@ class ShardedEGService:
         self._stopped = True
         for shard in self.shards:
             shard.stop(drain=drain, timeout=timeout)
+        if self.flight_recorder is not None:
+            uninstall_recorder(self.flight_recorder)
 
     @property
     def running(self) -> bool:
@@ -580,6 +618,8 @@ class ShardedEGService:
                 )
             )
         self._metrics.record_commit(ticket.session_id, merged=True)
+        if self.slo_engine is not None:
+            self.slo_engine.maybe_evaluate()
         return ShardedCommitResult(
             commit_index=ticket.commit_index,
             version=version,
@@ -682,3 +722,82 @@ class ShardedEGService:
     def metrics_snapshot(self) -> dict[str, Any]:
         self.stats()
         return self.metrics_registry.snapshot()
+
+    # ------------------------------------------------------------------
+    # Live introspection (the transport's ``health``/``debug`` ops)
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """Coordinator health plus a per-shard queue/status breakdown."""
+        shard_health = [shard.health() for shard in self.shards]
+        alerts: list[dict[str, str]] = []
+        if self.slo_engine is not None:
+            self.slo_engine.maybe_evaluate()
+            alerts = self.slo_engine.active()
+        if self._stopped:
+            status = "stopped"
+        elif alerts or any(h["status"] != "ok" for h in shard_health):
+            status = "degraded"
+        else:
+            status = "ok"
+        with self._registry_lock:
+            open_sessions = len(self._sessions)
+        return {
+            "status": status,
+            "version": self.version,
+            "open_sessions": open_sessions,
+            "queue": {
+                "depth": sum(h["queue"]["depth"] for h in shard_health),
+                "capacity": sum(h["queue"]["capacity"] for h in shard_health),
+                "peak": max(h["queue"]["peak"] for h in shard_health),
+                "headroom": sum(h["queue"]["headroom"] for h in shard_health),
+            },
+            "shards": [
+                {
+                    "shard": index,
+                    "status": h["status"],
+                    "version": h["version"],
+                    "queue": h["queue"],
+                }
+                for index, h in enumerate(shard_health)
+            ],
+            "recorder": (
+                self.flight_recorder.stats()
+                if self.flight_recorder is not None
+                else None
+            ),
+            "slo": self.slo_engine.status() if self.slo_engine is not None else None,
+            "alerts": alerts,
+        }
+
+    def debug_info(
+        self, traces: int = 16, spans: int = 20, trace_id: str | None = None
+    ) -> dict[str, Any]:
+        """The coordinator recorder's debug view (it sees every span of
+        the sharded service) plus per-shard merge/queue statistics."""
+        recorder = self.flight_recorder
+        if self.slo_engine is not None:
+            self.slo_engine.maybe_evaluate()
+        info: dict[str, Any] = {
+            "recorder": recorder.stats() if recorder is not None else None,
+            "recent_traces": (
+                recorder.kept_traces(traces) if recorder is not None else []
+            ),
+            "slowest_spans": (
+                recorder.slowest_spans(spans) if recorder is not None else []
+            ),
+            "alerts": self.slo_engine.journal() if self.slo_engine is not None else [],
+            "shards": [
+                {
+                    "shard": index,
+                    "queue_depth": stats.queue_depth,
+                    "queue_peak": stats.queue_peak,
+                    "batches": stats.batches,
+                    "merged_workloads": stats.merged_workloads,
+                    "plan_cache_hit_rate": stats.plan_cache_hit_rate,
+                }
+                for index, stats in enumerate(self.shard_stats())
+            ],
+        }
+        if trace_id is not None and recorder is not None:
+            info["trace"] = recorder.trace(trace_id)
+        return info

@@ -43,6 +43,11 @@ __all__ = ["TokenBucket", "AdmissionPolicy", "AdmissionController"]
 _PLAN_TIER_OPS = frozenset({"plan", "stats", "metrics"})
 #: ops that consume tenant quota tokens (the ones that cost real work)
 _QUOTA_OPS = frozenset({"plan", "commit"})
+#: never shed: session housekeeping is nearly free, and the
+#: introspection surface (``debug``/``health``) exists precisely to ask
+#: an overloaded server what is happening — shedding it would blind
+#: operators at the only moment they need it
+_NEVER_SHED = frozenset({"ping", "open_session", "close_session", "debug", "health"})
 
 
 class TokenBucket:
@@ -146,6 +151,8 @@ class AdmissionController:
         (this request included); ``urgent`` exempts a commit from tier-2
         shedding (the flag rides the request, set by the client).
         """
+        if op in _NEVER_SHED:
+            return
         policy = self.policy
         if op in _PLAN_TIER_OPS and inflight > policy.shed_plan_inflight:
             self.shed_counts["plan"] += 1

@@ -449,6 +449,31 @@ class TransportServiceClient:
         )
         return response["metrics"] if format == "json" else response["text"]
 
+    def health(self) -> dict[str, Any]:
+        """The server's live health snapshot (never shed, even overloaded)."""
+        return self.request({"op": "health", "session_id": self.session_id})["health"]
+
+    def debug(
+        self,
+        traces: int = 16,
+        spans: int = 20,
+        trace_id: str | None = None,
+    ) -> dict[str, Any]:
+        """The server's flight-recorder view: kept traces, slow spans, alerts.
+
+        ``trace_id`` additionally fetches that trace's full span list
+        (renderable with :func:`repro.obs.plane.perfetto_document`).
+        """
+        message: dict[str, Any] = {
+            "op": "debug",
+            "session_id": self.session_id,
+            "traces": traces,
+            "spans": spans,
+        }
+        if trace_id is not None:
+            message["trace_id"] = trace_id
+        return self.request(message)["debug"]
+
     # ------------------------------------------------------------------
     def run_script(
         self,

@@ -52,7 +52,7 @@ from .frames import (
     pack_header,
     read_frame_async,
 )
-from .wire import decode_workload, encode_payload, encode_workload
+from .wire import decode_workload, encode_payload, encode_workload, sanitize_tree
 
 logger = logging.getLogger(__name__)
 
@@ -328,6 +328,13 @@ class AsyncTransportServer:
             except asyncio.CancelledError:
                 raise
             except BaseException as error:  # noqa: BLE001 - every error maps onto the wire
+                if isinstance(error, AdmissionError):
+                    # a shed request never reaches _run_handler, so no
+                    # span exists for it; emit a synthetic finished one
+                    # ("tc" is still in the message — only the handler
+                    # path pops it) so the flight recorder tail-keeps
+                    # the client's whole trace
+                    self._record_shed_span(op, message, error)
                 await self._send(
                     writer,
                     write_lock,
@@ -362,6 +369,28 @@ class AsyncTransportServer:
         except AdmissionError as error:
             self._shed_total.inc(tier=str(error.tier))
             raise
+
+    def _record_shed_span(
+        self, op: str, message: dict[str, Any], error: AdmissionError
+    ) -> None:
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        remote = message.get("tc")
+        parent = (
+            SpanContext(trace_id=str(remote[0]), span_id=str(remote[1]))
+            if isinstance(remote, (list, tuple)) and len(remote) == 2
+            else None
+        )
+        # created and finished without ever being entered: it runs on the
+        # event loop thread and must not touch its span stack
+        tracer.span(
+            "transport.shed",
+            parent=parent,
+            op=op,
+            tier=str(error.tier),
+            error=type(error).__name__,
+        ).finish()
 
     async def _send(
         self,
@@ -494,6 +523,36 @@ class AsyncTransportServer:
         if message.get("format", "text") == "json":
             return {"metrics": self.service.metrics_snapshot()}
         return {"text": self.service.metrics_text()}
+
+    def _op_health(self, _message: dict[str, Any]) -> dict[str, Any]:
+        """Service health (queue/SLO/recorder state) plus a transport
+        section; never shed, so it answers during overload."""
+        health_fn = getattr(self.service, "health", None)
+        if callable(health_fn):
+            payload = dict(health_fn())
+        else:
+            payload = {
+                "status": "ok" if getattr(self.service, "running", True) else "stopped"
+            }
+        payload["transport"] = {
+            **self.wire_stats(),
+            "inflight": float(self._inflight),
+            "open_connections": self._connections_gauge.value(),
+        }
+        return {"health": sanitize_tree(payload)}
+
+    def _op_debug(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Flight-recorder introspection: kept traces, slowest spans,
+        alert journal; ``trace_id`` fetches one trace's full span list."""
+        debug_fn = getattr(self.service, "debug_info", None)
+        if not callable(debug_fn):
+            raise ProtocolError("service exposes no debug surface")
+        info = debug_fn(
+            traces=int(message.get("traces", 16)),
+            spans=int(message.get("spans", 20)),
+            trace_id=message.get("trace_id"),
+        )
+        return {"debug": sanitize_tree(info)}
 
     # ------------------------------------------------------------------
     # Introspection

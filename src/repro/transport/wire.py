@@ -17,7 +17,7 @@ the peer has already seen on this connection ships as a reference.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -32,7 +32,31 @@ __all__ = [
     "decode_payload",
     "encode_workload",
     "decode_workload",
+    "sanitize_tree",
 ]
+
+
+def sanitize_tree(obj: Any) -> Any:
+    """Deep-copy an introspection payload into wire-safe plain data.
+
+    The ``debug``/``health`` ops ship dicts assembled from live objects
+    (span attributes, SLO status, recorder stats) that may contain numpy
+    scalars, tuples, or arbitrary values; the codecs expect message
+    trees of JSON-shaped plain data.  Scalars pass through, numpy
+    numbers collapse to Python numbers, containers recurse, and anything
+    else degrades to ``repr`` — introspection must never fail to encode.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, Mapping):
+        return {str(key): sanitize_tree(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [sanitize_tree(item) for item in obj]
+    return repr(obj)
 
 
 # ----------------------------------------------------------------------

@@ -144,6 +144,48 @@ class TestTracerSurface:
         tracer.close()  # must not raise
         assert len(tracer.finished_spans()) == 1
 
+    def test_sink_errors_are_counted_per_stage(self):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        class Bomb:
+            def on_span(self, span):
+                raise RuntimeError("sink died")
+
+            def close(self):
+                raise RuntimeError("close died")
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            tracer = Tracer(sinks=[Bomb()])
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+            tracer.close()
+            counter = registry.get("repro_obs_sink_errors_total")
+            assert counter is not None
+            assert counter.value(stage="on_span") == 2.0
+            assert counter.value(stage="close") == 1.0
+        finally:
+            set_registry(previous)
+
+    def test_add_and_remove_sink_are_idempotent(self):
+        sink = InMemorySink()
+        tracer = Tracer(sinks=())
+        tracer.add_sink(sink)
+        tracer.add_sink(sink)
+        assert tracer.sink_count == 1
+        with tracer.span("seen"):
+            pass
+        assert [span.name for span in sink.spans] == ["seen"]
+        tracer.remove_sink(sink)
+        tracer.remove_sink(sink)
+        assert tracer.sink_count == 0
+        with tracer.span("unseen"):
+            pass
+        assert len(sink.spans) == 1
+
 
 class TestNoopDefault:
     def test_default_tracer_is_noop(self):
