@@ -22,9 +22,15 @@ Usage::
     python benchmarks/check_regression.py bench.json --tolerance 0.1
 
 Counters present only in the baseline (a benchmark was removed) are
-reported but do not fail the gate; counters present only in the new run
-(a benchmark was added) are accepted and should be committed into the
-baseline with ``--update``.
+reported but do not fail the gate — except ``vc_exact_`` counters, whose
+disappearance means a convergence check silently stopped running and
+therefore fails.  Counters present only in the new run (a benchmark was
+added) are accepted and should be committed into the baseline with
+``--update``.
+
+Every failing counter is reported in one run (the gate never stops at
+the first regression), and a failing run also prints the full baseline
+-> current diff so the whole picture is available without a rerun.
 """
 
 from __future__ import annotations
@@ -60,11 +66,21 @@ def extract_counters(document: dict) -> dict[str, float]:
 def compare(
     baseline: dict[str, float], current: dict[str, float], tolerance: float
 ) -> list[str]:
-    """Human-readable regression lines; empty means the gate passes."""
+    """Human-readable regression lines; empty means the gate passes.
+
+    Collects EVERY failing counter instead of stopping at the first, so
+    one CI run shows the complete set of regressions.
+    """
     regressions = []
     for key in sorted(baseline):
         if key not in current:
-            print(f"  note: {key} missing from the new run (benchmark removed?)")
+            if ".vc_exact_" in key:
+                regressions.append(
+                    f"  {key}: {baseline[key]:g} -> MISSING "
+                    "(exact counter dropped from the run)"
+                )
+            else:
+                print(f"  note: {key} missing from the new run (benchmark removed?)")
             continue
         reference, value = baseline[key], current[key]
         if ".vc_exact_" in key:
@@ -83,6 +99,22 @@ def compare(
     for key in sorted(set(current) - set(baseline)):
         print(f"  note: new counter {key} = {current[key]:g} (not in baseline)")
     return regressions
+
+
+def full_diff(baseline: dict[str, float], current: dict[str, float]) -> list[str]:
+    """Every counter as ``key: baseline -> current``, for failing runs."""
+    lines = []
+    for key in sorted(set(baseline) | set(current)):
+        reference = baseline.get(key)
+        value = current.get(key)
+        if reference is None:
+            lines.append(f"  {key}: (new) -> {value:g}")
+        elif value is None:
+            lines.append(f"  {key}: {reference:g} -> (missing)")
+        else:
+            marker = "" if value == reference else f" ({value - reference:+g})"
+            lines.append(f"  {key}: {reference:g} -> {value:g}{marker}")
+    return lines
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -122,8 +154,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"comparing {len(current)} counters against {args.baseline}")
     regressions = compare(baseline, current, args.tolerance)
     if regressions:
-        print("REGRESSIONS (counter grew past the tolerance):")
+        print(f"REGRESSIONS ({len(regressions)} counter(s) failed the gate):")
         for line in regressions:
+            print(line)
+        print("full diff (baseline -> current):")
+        for line in full_diff(baseline, current):
             print(line)
         return 1
     print("ok: no counter regressed")

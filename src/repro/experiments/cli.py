@@ -143,6 +143,17 @@ def _swarm_once(args, adaptive: bool):
     from .swarm import run_swarm
 
     transport = None if args.transport == "inproc" else args.transport
+    if getattr(args, "processes", 1) > 1:
+        # one worker process per shard; adaptive policies are in-process
+        # only (the feedback collector cannot cross process boundaries)
+        return run_swarm(
+            clients=args.clients,
+            rounds=args.rounds,
+            shards=args.shards,
+            processes=args.processes,
+            transport=transport,
+            transport_codec=args.transport_codec,
+        )
     if args.shards > 1:
         # sharded services own one store per partition, so the tiered
         # store override does not apply
@@ -181,6 +192,8 @@ def _run_swarm(_sources, args) -> None:
     result = _swarm_once(args, adaptive=adaptive)
     stats = result.stats
     shard_note = f" across {result.shards} shards" if result.shards > 1 else ""
+    if result.processes > 1:
+        shard_note += f" in {result.processes} worker processes"
     transport_note = (
         f" over tcp/{result.transport_codec}" if result.transport == "tcp" else ""
     )
@@ -448,10 +461,17 @@ def _run_serve(_sources, args) -> None:
     from ..transport import AsyncTransportServer
 
     recorder = FlightRecorder(slow_threshold_s=args.slow_threshold_ms / 1000.0)
-    if args.shards > 1:
+    if args.shard_workers:
+        from ..shard import ProcessShardCoordinator
+
+        service: Any = ProcessShardCoordinator(
+            max(args.shards, 2),
+            flight_recorder=recorder,
+        )
+    elif args.shards > 1:
         from ..shard import ShardedEGService
 
-        service: Any = ShardedEGService(
+        service = ShardedEGService(
             lambda _index: MaterializeAll(),
             args.shards,
             background=True,
@@ -465,8 +485,13 @@ def _run_serve(_sources, args) -> None:
         )
     server = AsyncTransportServer(service, host=args.host, port=args.port)
     host, port = server.start()
+    topology = (
+        f"{max(args.shards, 2)} shard worker processes"
+        if args.shard_workers
+        else f"{args.shards} shard(s)"
+    )
     _print(
-        f"serving on {host}:{port} ({args.shards} shard(s), "
+        f"serving on {host}:{port} ({topology}, "
         f"slow threshold {args.slow_threshold_ms:g}ms, "
         f"duration {args.duration:g}s)"
     )
@@ -543,6 +568,21 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         help="EG shards for the swarm experiment (>1 uses the sharded service)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help=(
+            "swarm: worker processes for the sharded service (must equal "
+            "--shards; >1 hosts each shard in its own process behind the "
+            "binary transport)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-workers",
+        action="store_true",
+        help="serve: host each shard in its own worker process (implies --shards >= 2)",
     )
     parser.add_argument(
         "--transport",

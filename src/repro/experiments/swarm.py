@@ -199,6 +199,8 @@ class SwarmResult:
     replay_fingerprint: str | None = None
     #: EG shards the run used (1 = the classic single-service swarm)
     shards: int = 1
+    #: worker processes the shards ran in (1 = all shards in-process)
+    processes: int = 1
     #: per-shard frozen stats (empty on single-service runs)
     shard_stats: list[ServiceStats] = field(default_factory=list, repr=False)
     #: cross-partition edge stubs registered by the end of the run
@@ -324,6 +326,7 @@ def run_swarm(
     store: ArtifactStore | None = None,
     debug_cross_check: bool = False,
     shards: int = 1,
+    processes: int = 1,
     transport: str | None = None,
     transport_codec: str = "binary",
     adaptive: bool = False,
@@ -354,6 +357,12 @@ def run_swarm(
     fingerprint check still must pass — adaptive runs change costs and
     tier placement, never EG content.
 
+    ``processes > 1`` moves every shard's service into its own worker
+    process (:class:`~repro.shard.ProcessShardCoordinator`) behind the
+    binary transport; it requires ``processes == shards`` (one worker per
+    shard) and the fingerprint check still must pass — the N-process
+    swarm converges bit-identically to the in-process sharded service.
+
     ``transport="tcp"`` routes every tenant through the async multiplexed
     binary transport (:mod:`repro.transport`) instead of in-process
     calls: one :class:`~repro.transport.AsyncTransportServer` in front of
@@ -374,6 +383,33 @@ def run_swarm(
         raise ValueError(f"unknown transport {transport!r} (expected 'inproc' or 'tcp')")
     if transport_codec not in ("binary", "json"):
         raise ValueError(f"unknown transport codec {transport_codec!r}")
+    if processes > 1:
+        if processes != shards:
+            raise ValueError(
+                f"processes ({processes}) must equal shards ({shards}): "
+                "the multi-process swarm runs exactly one worker per shard"
+            )
+        if store is not None:
+            raise ValueError("a custom store cannot cross process boundaries")
+        if adaptive:
+            raise ValueError(
+                "adaptive policies need a shared in-process feedback "
+                "collector; use processes=1"
+            )
+        if debug_cross_check:
+            raise ValueError("debug_cross_check is in-process only")
+        return _run_swarm_multiproc(
+            clients=clients,
+            rounds=rounds,
+            op_seconds=op_seconds,
+            batch_linger_s=batch_linger_s,
+            queue_capacity=queue_capacity,
+            replay=replay,
+            shards=shards,
+            transport=transport,
+            transport_codec=transport_codec,
+            flight_recorder=flight_recorder,
+        )
     if shards > 1:
         if store is not None:
             raise ValueError(
@@ -643,6 +679,123 @@ def _run_swarm_sharded(
         adaptive_report=(
             _adaptive_report(collector, batch_sizer) if collector is not None else {}
         ),
+        metrics_text=metrics_text,
+        recorder_stats=recorder_stats,
+    )
+    if replay:
+        result.replay_fingerprint = eg_fingerprint(
+            replay_sharded(result.commit_labels, shards, op_seconds)
+        )
+    return result
+
+
+def _run_swarm_multiproc(
+    clients: int,
+    rounds: int,
+    op_seconds: float,
+    batch_linger_s: float,
+    queue_capacity: int,
+    replay: bool,
+    shards: int,
+    transport: str | None = None,
+    transport_codec: str = "binary",
+    flight_recorder: Any | None = None,
+) -> SwarmResult:
+    """The sharded swarm with one worker *process* per shard.
+
+    Same workload family, same replay check as the in-process sharded
+    run; tenants talk to the :class:`ProcessShardCoordinator` (in-process
+    or, with ``transport="tcp"``, through a parent-side transport server
+    fronting the coordinator — two transport hops end to end).
+    """
+    from ..shard import ProcessShardCoordinator
+    from ..shard.persistence import load_partitioned_eg
+
+    coordinator = ProcessShardCoordinator(
+        shards,
+        queue_capacity=queue_capacity,
+        batch_linger_s=batch_linger_s,
+        request_timeout_s=60.0,
+        codec=transport_codec,
+        flight_recorder=flight_recorder,
+    )
+    server = pool = None
+    if transport == "tcp":
+        server, pool = _start_transport(coordinator, clients, transport_codec)
+    sources = sharded_swarm_sources(shards)
+    errors: list[BaseException] = []
+
+    def tenant(index: int) -> None:
+        try:
+            if pool is not None:
+                from ..transport import TransportServiceClient
+
+                client_cm: Any = TransportServiceClient(
+                    name=f"client-{index}", cost_model=VirtualCostModel(), pool=pool
+                )
+            else:
+                client_cm = ServiceClient(
+                    coordinator, name=f"client-{index}", cost_model=VirtualCostModel()
+                )
+            with client_cm as client:
+                for round_index in range(rounds):
+                    client.run_script(
+                        sharded_swarm_script(index, round_index, shards, op_seconds),
+                        sources,
+                        label=f"{index}:{round_index}",
+                    )
+        except BaseException as error:  # noqa: BLE001 - surfaced after join
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=tenant, args=(index,), name=f"tenant-{index}")
+        for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - started
+    wire_stats: dict = {}
+    client_wire_stats: dict = {}
+    if server is not None:
+        wire_stats, client_wire_stats = _teardown_transport(server, pool)
+    # snapshot telemetry before stop(): shutdown uninstalls the recorder
+    # (the coordinator's metrics_text already appends worker sections)
+    metrics_text = coordinator.metrics_text()
+    recorder = coordinator.flight_recorder
+    recorder_stats = recorder.stats() if recorder is not None else {}
+    coordinator.stop()
+    if errors:
+        raise errors[0]
+
+    stats = coordinator.stats()
+    log = coordinator.commit_log()
+    partitioned = load_partitioned_eg(coordinator.persist_dir)
+    flat = partitioned.flatten()
+    result = SwarmResult(
+        clients=clients,
+        rounds=rounds,
+        workloads=len(log),
+        wall_seconds=wall_seconds,
+        stats=stats,
+        commit_labels=[record.label for record in log],
+        eg_vertices=flat.num_vertices,
+        eg_edges=flat.graph.number_of_edges(),
+        eg_materialized=len(flat.materialized_ids()),
+        store_bytes=sum(
+            partition.store.total_bytes for partition in partitioned.partitions
+        ),
+        concurrent_fingerprint=eg_fingerprint(flat),
+        shards=shards,
+        processes=shards,
+        shard_stats=coordinator.shard_stats(),
+        stub_edges=coordinator.partitioned.stub_count,
+        transport="tcp" if server is not None else "inproc",
+        transport_codec=transport_codec if server is not None else "",
+        wire_stats=wire_stats,
+        client_wire_stats=client_wire_stats,
         metrics_text=metrics_text,
         recorder_stats=recorder_stats,
     )

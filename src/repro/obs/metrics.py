@@ -37,6 +37,7 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "set_registry",
+    "rollup_snapshots",
     "DEFAULT_BUCKETS",
 ]
 
@@ -423,6 +424,44 @@ def _render_histogram(name: str, labels: dict[str, str], value: dict[str, Any]) 
 
 
 _registry = MetricsRegistry()
+
+
+def rollup_snapshots(
+    primary: Mapping[str, Any],
+    children: Mapping[str, Mapping[str, Any]],
+    label: str = "source",
+) -> dict[str, Any]:
+    """Merge child registry snapshots into a primary one.
+
+    Every child series is re-labelled with ``label=<child key>`` and
+    appended under the same instrument name (created from the child's
+    type/help when the primary never registered it).  No arithmetic is
+    performed — histograms and gauges survive untouched — so the rollup
+    is lossless: a reader can still slice per-source or aggregate.  Used
+    by the multi-process shard coordinator to fold each worker process's
+    metrics into one snapshot.
+    """
+    merged: dict[str, Any] = {
+        name: {
+            "type": record["type"],
+            "help": record["help"],
+            "series": [dict(series) for series in record["series"]],
+        }
+        for name, record in primary.items()
+    }
+    for source, snapshot in children.items():
+        for name, record in snapshot.items():
+            target = merged.setdefault(
+                name,
+                {"type": record["type"], "help": record["help"], "series": []},
+            )
+            for series in record["series"]:
+                labels = dict(series.get("labels") or {})
+                labels[label] = str(source)
+                target["series"].append(
+                    {"labels": labels, "value": series["value"]}
+                )
+    return merged
 
 
 def get_registry() -> MetricsRegistry:

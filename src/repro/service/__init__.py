@@ -22,6 +22,7 @@ from .errors import (
     ServiceError,
     ServiceOverloadedError,
     ServiceStoppedError,
+    ShardUnavailableError,
     TransportError,
     TruncatedFrameError,
     UnknownSessionError,
@@ -44,6 +45,7 @@ __all__ = [
     "ServiceStoppedError",
     "RequestTimeoutError",
     "UnknownSessionError",
+    "ShardUnavailableError",
     "TransportError",
     "TruncatedFrameError",
     "ServiceStats",

@@ -13,6 +13,7 @@ __all__ = [
     "ServiceStoppedError",
     "RequestTimeoutError",
     "UnknownSessionError",
+    "ShardUnavailableError",
     "TransportError",
     "TruncatedFrameError",
 ]
@@ -41,6 +42,16 @@ class RequestTimeoutError(ServiceError, TimeoutError):
 
 class UnknownSessionError(ServiceError, KeyError):
     """A request referenced a session id that is not (or no longer) open."""
+
+
+class ShardUnavailableError(ServiceError):
+    """A shard worker process is dead or unreachable.
+
+    Raised by the process-shard coordinator when a workload touches a
+    shard whose worker has crashed or dropped its connection.  Workloads
+    confined to healthy shards keep committing; a restarted worker reopens
+    its partition persistence and rejoins the swarm.
+    """
 
 
 class TransportError(ServiceError):

@@ -10,12 +10,26 @@ The scale-out layer over the single-graph service stack:
 * :mod:`repro.shard.service` — :class:`ShardedEGService`, one merge
   worker + snapshot chain + plan cache per shard behind a routing and
   plan-stitching coordinator;
+* :mod:`repro.shard.proc` — :class:`ProcessShardCoordinator`, the same
+  coordinator semantics with every shard's service moved into its own
+  :class:`ShardWorkerProcess` behind the binary transport;
 * :mod:`repro.shard.persistence` — save/load of all partitions plus the
   stub registry.
 """
 
 from .partition import EdgeStub, PartitionedExperimentGraph, SplitWorkload
-from .persistence import load_partitioned_eg, save_partitioned_eg
+from .persistence import (
+    load_partitioned_eg,
+    save_partitioned_eg,
+    write_partition_manifest,
+)
+from .proc import (
+    ProcessShardCoordinator,
+    ProcShardTicket,
+    RemoteServicePlan,
+    ShardWorkerProcess,
+    WorkerSpec,
+)
 from .routing import (
     RoutedWorkload,
     balanced_source_names,
@@ -45,6 +59,12 @@ __all__ = [
     "ShardedServicePlan",
     "ShardedUpdateTicket",
     "StitchedSnapshot",
+    "ProcessShardCoordinator",
+    "ProcShardTicket",
+    "RemoteServicePlan",
+    "ShardWorkerProcess",
+    "WorkerSpec",
     "save_partitioned_eg",
     "load_partitioned_eg",
+    "write_partition_manifest",
 ]

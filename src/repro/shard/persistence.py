@@ -25,16 +25,27 @@ from pathlib import Path
 from ..eg.persistence import EGPersistenceError, load_eg, save_eg
 from .partition import EdgeStub, PartitionedExperimentGraph
 
-__all__ = ["save_partitioned_eg", "load_partitioned_eg"]
+__all__ = [
+    "save_partitioned_eg",
+    "load_partitioned_eg",
+    "write_partition_manifest",
+]
 
 _FORMAT_VERSION = 1
 _MANIFEST = "manifest.json"
 
 
-def save_partitioned_eg(
+def write_partition_manifest(
     peg: PartitionedExperimentGraph, directory: str | Path
 ) -> None:
-    """Persist every partition plus the stub registry to a directory."""
+    """Write only ``manifest.json`` for ``peg`` (stubs + global counter).
+
+    Used directly by the multi-process coordinator, whose partitions are
+    persisted *by the workers that own them*: each worker writes its own
+    ``partition{i}/`` on graceful stop, and the coordinator — the sole
+    authority on the stub registry and the global commit counter —
+    completes the layout with this manifest.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     manifest = {
@@ -55,6 +66,14 @@ def save_partitioned_eg(
         ],
     }
     (directory / _MANIFEST).write_text(json.dumps(manifest))
+
+
+def save_partitioned_eg(
+    peg: PartitionedExperimentGraph, directory: str | Path
+) -> None:
+    """Persist every partition plus the stub registry to a directory."""
+    directory = Path(directory)
+    write_partition_manifest(peg, directory)
     for index, partition in enumerate(peg.partitions):
         save_eg(partition, directory / f"partition{index}")
 

@@ -434,9 +434,16 @@ class ShardedEGService:
             shard.start()
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop every shard under one shared ``timeout`` budget.
+
+        The deadline spans the whole stop: each shard gets whatever
+        budget the shards before it left over, so total stop time honors
+        ``timeout`` instead of multiplying it by the shard count.
+        """
         self._stopped = True
+        deadline = time.monotonic() + timeout
         for shard in self.shards:
-            shard.stop(drain=drain, timeout=timeout)
+            shard.stop(drain=drain, timeout=max(0.0, deadline - time.monotonic()))
         if self.flight_recorder is not None:
             uninstall_recorder(self.flight_recorder)
 

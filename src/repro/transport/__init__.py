@@ -25,6 +25,7 @@ See ``docs/TRANSPORT.md`` for the wire format and shedding tiers.
 from .admission import AdmissionController, AdmissionPolicy, TokenBucket
 from .client import (
     ConnectionPool,
+    PendingReply,
     TransportConnection,
     TransportServiceClient,
 )
@@ -42,12 +43,17 @@ from .errors import (
     TruncatedFrameError,
 )
 from .server import AsyncTransportServer
+from .shardops import ShardCommitSequencer, ShardRequestBridge, serve_one_shard
 
 __all__ = [
     "AsyncTransportServer",
     "TransportConnection",
+    "PendingReply",
     "ConnectionPool",
     "TransportServiceClient",
+    "ShardCommitSequencer",
+    "ShardRequestBridge",
+    "serve_one_shard",
     "AdmissionController",
     "AdmissionPolicy",
     "TokenBucket",

@@ -23,6 +23,7 @@ Three layers:
 from __future__ import annotations
 
 import itertools
+import random
 import socket
 import threading
 import time
@@ -49,6 +50,7 @@ from ..service.errors import (
     ServiceError,
     ServiceOverloadedError,
     ServiceStoppedError,
+    ShardUnavailableError,
     UnknownSessionError,
 )
 from ..service.tcp import _decode_meta
@@ -68,6 +70,7 @@ from .wire import decode_payload, encode_workload
 
 __all__ = [
     "TransportConnection",
+    "PendingReply",
     "ConnectionPool",
     "TransportServiceClient",
     "error_from_wire",
@@ -80,6 +83,7 @@ _WIRE_ERROR_TYPES: dict[str, type[Exception]] = {
     "ServiceStoppedError": ServiceStoppedError,
     "RequestTimeoutError": RequestTimeoutError,
     "UnknownSessionError": UnknownSessionError,
+    "ShardUnavailableError": ShardUnavailableError,
     "ArtifactDivergenceError": ArtifactDivergenceError,
     "TransportError": TransportError,
     "TruncatedFrameError": TruncatedFrameError,
@@ -118,8 +122,54 @@ class _Waiter:
         self.event.set()
 
 
+class PendingReply:
+    """Handle for a request already on the wire; ``wait()`` for the reply.
+
+    Splitting send from wait lets a dispatcher fire requests at many
+    peers under one lock (fixing their relative wire order) and collect
+    the replies later, outside it.
+    """
+
+    __slots__ = ("_connection", "_request_id", "_waiter")
+
+    def __init__(
+        self, connection: "TransportConnection", request_id: int, waiter: _Waiter
+    ) -> None:
+        self._connection = connection
+        self._request_id = request_id
+        self._waiter = waiter
+
+    @property
+    def request_id(self) -> int:
+        return self._request_id
+
+    @property
+    def ready(self) -> bool:
+        return self._waiter.event.is_set()
+
+    def wait(self, timeout_s: float | None = 30.0) -> Any:
+        waiter = self._waiter
+        if not waiter.event.wait(timeout_s):
+            self._connection._abandon(self._request_id)
+            raise RequestTimeoutError(
+                f"no response within {timeout_s}s (request {self._request_id})"
+            )
+        if waiter.error is not None:
+            raise waiter.error
+        if waiter.kind == KIND_ERROR:
+            raise error_from_wire(waiter.message)
+        return waiter.message
+
+
 class TransportConnection:
-    """One multiplexed connection to an :class:`AsyncTransportServer`."""
+    """One multiplexed connection to an :class:`AsyncTransportServer`.
+
+    ``response_hook`` (if given) is invoked from the reader thread for
+    every response frame — including frames whose waiter already timed
+    out — so callers can keep an exact count of replies drained from
+    this socket (the coordinator's backpressure accounting relies on
+    this).  The hook must be fast and must not raise.
+    """
 
     def __init__(
         self,
@@ -127,6 +177,7 @@ class TransportConnection:
         port: int,
         codec: str = "binary",
         connect_timeout_s: float = 10.0,
+        response_hook: Callable[[int, int], None] | None = None,
     ):
         self._sock = socket.create_connection((host, port), timeout=connect_timeout_s)
         self._sock.settimeout(None)
@@ -142,6 +193,7 @@ class TransportConnection:
         self._waiters: dict[int, _Waiter] = {}
         self._waiters_lock = threading.Lock()
         self._request_ids = itertools.count(1)
+        self._response_hook = response_hook
         self._closed = False
         self._reader = threading.Thread(
             target=self._read_loop, name="eg-transport-reader", daemon=True
@@ -161,8 +213,13 @@ class TransportConnection:
         return self._binary.ref_bytes_saved
 
     # ------------------------------------------------------------------
-    def request(self, message: dict[str, Any], timeout_s: float = 30.0) -> Any:
-        """One round trip; blocks this thread only — others keep flowing."""
+    def submit(self, message: dict[str, Any]) -> PendingReply:
+        """Put one request on the wire now; the caller waits later.
+
+        Calls made under an external lock leave in lock order — the peer
+        decodes them in that order — which is what the process-shard
+        coordinator uses to keep per-shard commit dispatch FIFO.
+        """
         if self._closed:
             raise ConnectionLostError("connection already closed")
         request_id = next(self._request_ids)
@@ -182,17 +239,15 @@ class TransportConnection:
             with self._waiters_lock:
                 self._waiters.pop(request_id, None)
             raise ConnectionLostError(f"send failed: {error}") from error
-        if not waiter.event.wait(timeout_s):
-            with self._waiters_lock:
-                self._waiters.pop(request_id, None)
-            raise RequestTimeoutError(
-                f"no response within {timeout_s}s (request {request_id})"
-            )
-        if waiter.error is not None:
-            raise waiter.error
-        if waiter.kind == KIND_ERROR:
-            raise error_from_wire(waiter.message)
-        return waiter.message
+        return PendingReply(self, request_id, waiter)
+
+    def request(self, message: dict[str, Any], timeout_s: float = 30.0) -> Any:
+        """One round trip; blocks this thread only — others keep flowing."""
+        return self.submit(message).wait(timeout_s)
+
+    def _abandon(self, request_id: int) -> None:
+        with self._waiters_lock:
+            self._waiters.pop(request_id, None)
 
     # ------------------------------------------------------------------
     def _read_loop(self) -> None:
@@ -205,6 +260,10 @@ class TransportConnection:
                 header, body = frame
                 codec = codec_for_id(header.codec, self._binary)
                 message = codec.decode(body)
+                if self._response_hook is not None:
+                    # fires for every drained frame, matched or not, so
+                    # inflight accounting survives timed-out waiters
+                    self._response_hook(header.request_id, header.kind)
                 with self._waiters_lock:
                     waiter = self._waiters.pop(header.request_id, None)
                 if waiter is not None:
@@ -254,6 +313,13 @@ class ConnectionPool:
     codec's dedup ledger is per connection, so a thread that hops
     between sockets would keep re-shipping columns its previous socket
     already delivered.
+
+    Reconnects after a connection loss use jittered exponential backoff
+    (``connect_attempts`` tries, delays ``backoff_base_s * 2**n`` capped
+    at ``backoff_max_s``, each scaled by a random factor in [0.5, 1.5))
+    so a pool full of clients does not hammer a restarting worker in
+    lockstep.  The first attempt is immediate, which keeps the healthy
+    path latency-free.
     """
 
     def __init__(
@@ -263,18 +329,31 @@ class ConnectionPool:
         size: int = 2,
         codec: str = "binary",
         timeout_s: float = 30.0,
+        connect_attempts: int = 4,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
     ):
         if size < 1:
             raise ValueError("pool size must be at least 1")
+        if connect_attempts < 1:
+            raise ValueError("connect_attempts must be at least 1")
         self.host = host
         self.port = port
         self.codec = codec
         self.timeout_s = timeout_s
+        self.connect_attempts = connect_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
         self._slots: list[TransportConnection | None] = [None] * size
         self._lock = threading.Lock()
+        # per-slot locks so a slot sleeping through backoff does not
+        # stall requests flowing on the other slots
+        self._slot_locks = [threading.Lock() for _ in range(size)]
         self._next = 0
         self._local = threading.local()
+        self._rng = random.Random()
         self._retries = 0
+        self._reconnect_backoffs = 0
         self._retired_refs = 0
         self._retired_saved = 0
 
@@ -283,14 +362,40 @@ class ConnectionPool:
         """Requests replayed on a fresh connection after a drop."""
         return self._retries
 
+    @property
+    def reconnect_backoffs(self) -> int:
+        """Backoff sleeps taken while re-dialling a lost connection."""
+        return self._reconnect_backoffs
+
     def _connection_at(self, index: int) -> TransportConnection:
-        with self._lock:
-            connection = self._slots[index]
-            if connection is None or connection.closed:
-                connection = self._slots[index] = TransportConnection(
-                    self.host, self.port, codec=self.codec
-                )
-            return connection
+        with self._slot_locks[index]:
+            with self._lock:
+                connection = self._slots[index]
+            if connection is not None and not connection.closed:
+                return connection
+            last_error: OSError | None = None
+            for attempt in range(self.connect_attempts):
+                if attempt > 0:
+                    delay = min(
+                        self.backoff_max_s, self.backoff_base_s * 2 ** (attempt - 1)
+                    )
+                    time.sleep(delay * (0.5 + self._rng.random()))
+                    with self._lock:
+                        self._reconnect_backoffs += 1
+                try:
+                    connection = TransportConnection(
+                        self.host, self.port, codec=self.codec
+                    )
+                except OSError as error:
+                    last_error = error
+                    continue
+                with self._lock:
+                    self._slots[index] = connection
+                return connection
+            raise ConnectionLostError(
+                f"could not reconnect to {self.host}:{self.port} after "
+                f"{self.connect_attempts} attempts: {last_error}"
+            ) from last_error
 
     def _pick(self) -> int:
         index = getattr(self._local, "index", None)
@@ -333,6 +438,7 @@ class ConnectionPool:
             "dedup_refs_sent": refs + sum(c.dedup_refs_sent for c in connections),
             "dedup_bytes_saved": saved + sum(c.dedup_bytes_saved for c in connections),
             "retries": self._retries,
+            "reconnect_backoffs": self._reconnect_backoffs,
         }
 
     def close(self) -> None:

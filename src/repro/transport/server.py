@@ -78,8 +78,12 @@ class AsyncTransportServer:
         admission: AdmissionController | AdmissionPolicy | None = None,
         max_workers: int = 8,
         metrics_registry: MetricsRegistry | None = None,
+        shard_bridge: Any = None,
     ):
         self.service = service
+        #: optional shard-worker bridge: its ``handlers`` dict serves the
+        #: dotted ``shard.*`` ops ahead of the built-in ``_op_*`` lookup
+        self.shard_bridge = shard_bridge
         self._host = host
         self._port = port
         if isinstance(admission, AdmissionController):
@@ -319,7 +323,11 @@ class AsyncTransportServer:
         try:
             try:
                 self._admit(op, message)
-                handler = getattr(self, f"_op_{op}", None)
+                handler = None
+                if self.shard_bridge is not None:
+                    handler = self.shard_bridge.handlers.get(op)
+                if handler is None:
+                    handler = getattr(self, f"_op_{op.replace('.', '_')}", None)
                 if handler is None:
                     raise ProtocolError(f"unknown op {op!r}")
                 result = await loop.run_in_executor(

@@ -2,6 +2,7 @@
 
 import random
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -241,3 +242,31 @@ class TestConvergence:
         assert flat.materialized_ids() == replay.materialized_ids()
         assert flat.recreation_costs() == replay.recreation_costs()
         assert flat.potentials() == replay.potentials()
+
+
+class TestStopDeadline:
+    def test_stop_shares_one_timeout_budget_across_shards(self):
+        """Regression: ``stop(timeout=T)`` must bound the WHOLE stop.
+
+        Each shard receives whatever budget the shards before it left
+        over, so the recorded per-shard timeouts decrease instead of
+        every shard getting the full ``T`` (which would multiply the
+        deadline by the shard count).
+        """
+        service = ShardedEGService(lambda _i: MaterializeAll(), 3)
+        budgets: list[float] = []
+        for shard in service.shards:
+            original = shard.stop
+
+            def recording_stop(drain=True, timeout=30.0, _original=original):
+                budgets.append(timeout)
+                time.sleep(0.05)
+                _original(drain=drain, timeout=timeout)
+
+            shard.stop = recording_stop
+        service.stop(timeout=2.0)
+        assert len(budgets) == 3
+        assert all(budget <= 2.0 for budget in budgets)
+        # strictly decreasing: each shard consumed part of the shared budget
+        assert budgets[0] > budgets[1] > budgets[2]
+        assert budgets[0] - budgets[2] >= 0.05

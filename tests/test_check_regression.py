@@ -1,0 +1,125 @@
+"""The benchmark regression gate reports every failing counter at once."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def bench_document(counters: dict[str, dict[str, float]]) -> dict:
+    return {
+        "benchmarks": [
+            {"name": name, "extra_info": extra} for name, extra in counters.items()
+        ]
+    }
+
+
+class TestExtract:
+    def test_only_vc_counters_are_extracted(self):
+        document = bench_document(
+            {"b": {"vc_loads": 3, "vc_exact_vertices": 10, "wall_s": 1.25, "note": "x"}}
+        )
+        counters = check_regression.extract_counters(document)
+        assert counters == {"b.vc_loads": 3.0, "b.vc_exact_vertices": 10.0}
+
+
+class TestCompare:
+    def test_all_failing_counters_reported_in_one_run(self):
+        baseline = {
+            "b.vc_loads": 10.0,
+            "b.vc_bytes": 100.0,
+            "b.vc_exact_vertices": 40.0,
+        }
+        current = {
+            "b.vc_loads": 50.0,  # way past tolerance
+            "b.vc_bytes": 400.0,  # also past tolerance
+            "b.vc_exact_vertices": 41.0,  # exact mismatch
+        }
+        regressions = check_regression.compare(baseline, current, tolerance=0.25)
+        assert len(regressions) == 3
+        text = "\n".join(regressions)
+        assert "b.vc_loads" in text
+        assert "b.vc_bytes" in text
+        assert "b.vc_exact_vertices" in text
+
+    def test_missing_exact_counter_fails_the_gate(self):
+        baseline = {"b.vc_exact_vertices": 40.0, "b.vc_loads": 10.0}
+        current = {"b.vc_loads": 10.0}
+        regressions = check_regression.compare(baseline, current, tolerance=0.25)
+        assert len(regressions) == 1
+        assert "MISSING" in regressions[0]
+
+    def test_missing_soft_counter_is_only_a_note(self):
+        baseline = {"b.vc_loads": 10.0}
+        regressions = check_regression.compare(baseline, {}, tolerance=0.25)
+        assert regressions == []
+
+    def test_exact_counters_fail_on_shrinkage_too(self):
+        baseline = {"b.vc_exact_vertices": 40.0}
+        current = {"b.vc_exact_vertices": 39.0}
+        assert len(check_regression.compare(baseline, current, 0.25)) == 1
+
+    def test_small_integer_counters_get_absolute_slack(self):
+        baseline = {"b.vc_demotions": 2.0}
+        current = {"b.vc_demotions": 3.0}  # +50% but within slack
+        assert check_regression.compare(baseline, current, 0.25) == []
+
+    def test_full_diff_covers_new_missing_and_changed(self):
+        baseline = {"b.vc_loads": 10.0, "b.vc_gone": 5.0}
+        current = {"b.vc_loads": 12.0, "b.vc_new": 7.0}
+        lines = check_regression.full_diff(baseline, current)
+        text = "\n".join(lines)
+        assert "b.vc_loads: 10 -> 12 (+2)" in text
+        assert "b.vc_gone: 5 -> (missing)" in text
+        assert "b.vc_new: (new) -> 7" in text
+
+
+class TestMain:
+    def test_failing_run_exits_nonzero_and_prints_full_diff(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        bench.write_text(
+            json.dumps(bench_document({"b": {"vc_exact_vertices": 41}}))
+        )
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"b.vc_exact_vertices": 40.0}))
+        code = check_regression.main(
+            [str(bench), "--baseline", str(baseline)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "1 counter(s) failed" in out
+        assert "full diff" in out
+
+    def test_update_rewrites_the_baseline(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(bench_document({"b": {"vc_loads": 3}})))
+        baseline = tmp_path / "baseline.json"
+        code = check_regression.main(
+            [str(bench), "--baseline", str(baseline), "--update"]
+        )
+        assert code == 0
+        assert json.loads(baseline.read_text()) == {"b.vc_loads": 3.0}
+
+    def test_clean_run_passes(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(bench_document({"b": {"vc_loads": 3}})))
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"b.vc_loads": 3.0}))
+        assert check_regression.main([str(bench), "--baseline", str(baseline)]) == 0
+
+    def test_empty_run_is_an_error(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps({"benchmarks": []}))
+        assert check_regression.main([str(bench)]) == 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -19,13 +19,13 @@ class FakeFrameServer:
     the connection shut mid-request instead of responding.
     """
 
-    def __init__(self, drop_requests: int = 0, respond: bool = True):
+    def __init__(self, drop_requests: int = 0, respond: bool = True, port: int = 0):
         self.drop_requests = drop_requests
         self.respond = respond
         self.requests_seen = 0
         self.connections_seen = 0
         self._lock = threading.Lock()
-        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener = socket.create_server(("127.0.0.1", port))
         self._listener.settimeout(0.2)
         self.port = self._listener.getsockname()[1]
         self._closing = threading.Event()
@@ -171,6 +171,76 @@ class TestPoolAffinity:
             assert server.requests_seen == 6
         finally:
             server.close()
+
+
+class TestReconnectBackoff:
+    def test_flapping_server_reconnect_backs_off_then_succeeds(self):
+        """A request issued while the server flaps survives the restart.
+
+        The pool re-dials with jittered exponential backoff; by the time
+        the later attempts fire, the revived listener is back on the same
+        port and the request completes on a fresh connection.
+        """
+        import time
+
+        server = FakeFrameServer()
+        port = server.port
+        revived: list[FakeFrameServer] = []
+        pool = ConnectionPool(
+            "127.0.0.1",
+            port,
+            size=1,
+            codec="json",
+            connect_attempts=5,
+            backoff_base_s=0.1,
+            backoff_max_s=0.5,
+        )
+        try:
+            assert pool.request({"op": "ping"}, timeout_s=10.0)["ok"] is True
+            server.close()
+
+            def revive() -> None:
+                time.sleep(0.3)
+                revived.append(FakeFrameServer(port=port))
+
+            thread = threading.Thread(target=revive)
+            thread.start()
+            try:
+                response = pool.request({"op": "ping"}, timeout_s=10.0)
+            finally:
+                thread.join(timeout=5.0)
+            assert response["ok"] is True
+            # at least one re-dial attempt slept through a backoff window
+            assert pool.reconnect_backoffs >= 1
+            assert (
+                pool.wire_stats()["reconnect_backoffs"] == pool.reconnect_backoffs
+            )
+        finally:
+            pool.close()
+            for extra in revived:
+                extra.close()
+
+    def test_reconnect_gives_up_after_connect_attempts(self):
+        # reserve a port with no listener behind it
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        pool = ConnectionPool(
+            "127.0.0.1",
+            port,
+            size=1,
+            codec="json",
+            connect_attempts=3,
+            backoff_base_s=0.01,
+            backoff_max_s=0.05,
+        )
+        try:
+            with pytest.raises(ConnectionLostError, match="after 3 attempts"):
+                pool.request({"op": "ping"}, timeout_s=5.0)
+            # the first attempt is immediate; the two re-dials backed off
+            assert pool.reconnect_backoffs == 2
+        finally:
+            pool.close()
 
 
 class TestConnectionLifecycle:
